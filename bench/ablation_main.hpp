@@ -1,0 +1,62 @@
+// Shared driver for the ablation benches: an NSU sweep (the paper's Fig. 1
+// axis) evaluated over a custom scheme line-up that isolates one design
+// choice of CA-TPA.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "mcs/mcs.hpp"
+
+namespace mcs::bench {
+
+using SchemeFactory = std::function<partition::PartitionerList(double alpha)>;
+
+inline int ablation_main(int argc, char** argv, const std::string& title,
+                         const SchemeFactory& make_schemes) {
+  const util::Cli cli(
+      argc, argv,
+      {{"trials", "task sets per data point (default 2000)"},
+       {"seed", "base RNG seed (default 1)"},
+       {"threads", "worker threads (default: hardware concurrency)"},
+       {"alpha", "CA-TPA imbalance threshold (default 0.7)"},
+       {"csv", "also write results to this CSV file"}});
+  if (cli.help_requested()) {
+    std::cout << cli.usage(title);
+    return 0;
+  }
+
+  exp::RunOptions options;
+  options.trials = cli.get_or("trials", exp::kDefaultTrials);
+  options.seed = cli.get_or("seed", std::uint64_t{1});
+  options.threads =
+      static_cast<std::size_t>(cli.get_or("threads", std::uint64_t{0}));
+  const double alpha = cli.get_or("alpha", exp::kDefaultAlpha);
+
+  exp::Sweep sweep;
+  sweep.name = title;
+  sweep.x_label = "NSU";
+  for (double nsu : exp::kNsuRange) {
+    gen::GenParams p = exp::default_gen_params();
+    p.nsu = nsu;
+    sweep.points.push_back(exp::SweepPoint{
+        .x = nsu,
+        .params = p,
+        .make_schemes = [&make_schemes, alpha] { return make_schemes(alpha); }});
+  }
+
+  const exp::SweepResult result =
+      run_sweep(sweep, options, [&](std::size_t done, std::size_t total) {
+        std::cerr << "[" << title << "] point " << done << "/" << total
+                  << " done\n";
+      });
+  print_figure(std::cout, result, title);
+  if (const auto csv = cli.get("csv")) {
+    write_csv(*csv, result);
+    std::cout << "CSV written to " << *csv << '\n';
+  }
+  return 0;
+}
+
+}  // namespace mcs::bench

@@ -1,0 +1,102 @@
+// Microbenchmarks of the partitioners themselves (google-benchmark),
+// validating the paper's Sec. III-C complexity claim: CA-TPA runs in
+// O((M + N) * N) — the probe count is ~M*N and each probe is O(K^2).
+//
+// The N-sweep at fixed M should scale ~quadratically, the M-sweep at fixed
+// N ~linearly; `probes` is reported as a counter for direct verification.
+#include <benchmark/benchmark.h>
+
+#include "mcs/mcs.hpp"
+
+namespace {
+
+using namespace mcs;
+
+gen::GenParams params_for(std::size_t cores, std::size_t tasks) {
+  gen::GenParams p;
+  p.num_cores = cores;
+  p.num_levels = 4;
+  p.nsu = 0.5;  // moderate load so runs rarely abort early on failure
+  p.num_tasks = tasks;
+  return p;
+}
+
+void run_partitioner(benchmark::State& state,
+                     const partition::Partitioner& scheme, std::size_t cores,
+                     std::size_t tasks) {
+  const gen::GenParams params = params_for(cores, tasks);
+  // A pool of pre-generated task sets so generation cost stays out of the
+  // measured loop.
+  std::vector<TaskSet> pool;
+  for (std::uint64_t trial = 0; trial < 16; ++trial) {
+    pool.push_back(gen::generate_trial(params, 42, trial));
+  }
+  std::size_t i = 0;
+  double probes = 0.0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const partition::PartitionResult r = scheme.run(pool[i], cores);
+    benchmark::DoNotOptimize(r.success);
+    probes += static_cast<double>(r.probes);
+    ++runs;
+    i = (i + 1) % pool.size();
+  }
+  state.counters["probes"] =
+      benchmark::Counter(probes / static_cast<double>(runs));
+  state.SetComplexityN(static_cast<std::int64_t>(tasks));
+}
+
+void BM_CaTpa_TaskSweep(benchmark::State& state) {
+  const partition::CaTpaPartitioner catpa;
+  run_partitioner(state, catpa, 8, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_CaTpa_TaskSweep)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+
+void BM_CaTpa_CoreSweep(benchmark::State& state) {
+  const partition::CaTpaPartitioner catpa;
+  run_partitioner(state, catpa, static_cast<std::size_t>(state.range(0)), 100);
+}
+BENCHMARK(BM_CaTpa_CoreSweep)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Ffd(benchmark::State& state) {
+  const partition::ClassicPartitioner ffd(partition::FitRule::kFirst);
+  run_partitioner(state, ffd, 8, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Ffd)->RangeMultiplier(2)->Range(25, 400);
+
+void BM_Wfd(benchmark::State& state) {
+  const partition::ClassicPartitioner wfd(partition::FitRule::kWorst);
+  run_partitioner(state, wfd, 8, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Wfd)->RangeMultiplier(2)->Range(25, 400);
+
+void BM_Hybrid(benchmark::State& state) {
+  const partition::HybridPartitioner hybrid;
+  run_partitioner(state, hybrid, 8, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Hybrid)->RangeMultiplier(2)->Range(25, 400);
+
+// The building blocks: one improved-test evaluation and one full-core probe.
+void BM_ImprovedTest(benchmark::State& state) {
+  const auto K = static_cast<Level>(state.range(0));
+  gen::GenParams params = params_for(1, 20);
+  params.num_levels = K;
+  const TaskSet ts = gen::generate_trial(params, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::improved_test(ts.utils()).schedulable);
+  }
+}
+BENCHMARK(BM_ImprovedTest)->DenseRange(2, 6);
+
+void BM_TaskSetGeneration(benchmark::State& state) {
+  const gen::GenParams params = params_for(8, 0);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::generate_trial(params, 11, trial++).size());
+  }
+}
+BENCHMARK(BM_TaskSetGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared driver for the figure-reproduction benches.  Each bench binary
+// supplies a sweep builder; this header provides the standard CLI
+// (--trials/--seed/--threads/--csv/--full) and rendering.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "mcs/mcs.hpp"
+
+namespace mcs::bench {
+
+using SweepBuilder =
+    std::function<exp::Sweep(const gen::GenParams& base, double alpha)>;
+
+/// Runs a figure bench: builds the sweep with paper-default base parameters,
+/// executes it, prints the four panels, and optionally writes CSV.
+inline int figure_main(int argc, char** argv, const std::string& title,
+                       const SweepBuilder& build) {
+  const util::Cli cli(
+      argc, argv,
+      {{"trials", "task sets per data point (default 2000)"},
+       {"seed", "base RNG seed (default 1)"},
+       {"threads", "worker threads (default: hardware concurrency)"},
+       {"alpha", "CA-TPA imbalance threshold (default 0.7)"},
+       {"csv", "also write results to this CSV file"},
+       {"full", "paper fidelity: 50000 task sets per point"}});
+  if (cli.help_requested()) {
+    std::cout << cli.usage(title);
+    return 0;
+  }
+
+  exp::RunOptions options;
+  options.trials = cli.has("full") ? exp::kPaperTrials
+                                   : cli.get_or("trials", exp::kDefaultTrials);
+  options.seed = cli.get_or("seed", std::uint64_t{1});
+  options.threads =
+      static_cast<std::size_t>(cli.get_or("threads", std::uint64_t{0}));
+  const double alpha = cli.get_or("alpha", exp::kDefaultAlpha);
+
+  const exp::Sweep sweep = build(exp::default_gen_params(), alpha);
+  const exp::SweepResult result =
+      run_sweep(sweep, options, [&](std::size_t done, std::size_t total) {
+        std::cerr << "[" << title << "] point " << done << "/" << total
+                  << " done\n";
+      });
+  print_figure(std::cout, result, title);
+  std::cout << "\nSummary across the sweep:\n";
+  print_summary(std::cout, result);
+  if (const auto csv = cli.get("csv")) {
+    write_csv(*csv, result);
+    std::cout << "CSV written to " << *csv << '\n';
+  }
+  return 0;
+}
+
+}  // namespace mcs::bench

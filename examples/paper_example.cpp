@@ -1,0 +1,109 @@
+// The paper's Sec. III walk-through, reconstructed (the OCR of the original
+// Table I loses the concrete numbers; this instance reproduces the same —
+// actually a stronger — qualitative story: FFD, BFD, WFD *and* Hybrid all
+// fail to place the five tasks on two cores, while CA-TPA succeeds).
+//
+// Prints Table-I style task parameters with utilization contributions, then
+// narrates each scheme's allocation in the style of Tables II/III.
+//
+//   $ ./examples/paper_example
+#include <cstdio>
+#include <iostream>
+
+#include "mcs/mcs.hpp"
+
+namespace {
+
+mcs::TaskSet make_paper_example() {
+  std::vector<mcs::McTask> tasks;
+  tasks.emplace_back(1, std::vector<double>{15.1, 32.4}, 80.0);
+  tasks.emplace_back(2, std::vector<double>{8.1, 13.3}, 35.0);
+  tasks.emplace_back(3, std::vector<double>{22.0}, 60.0);
+  tasks.emplace_back(4, std::vector<double>{5.5, 8.4}, 15.0);
+  tasks.emplace_back(5, std::vector<double>{20.5}, 65.0);
+  return mcs::TaskSet(std::move(tasks), 2);
+}
+
+void narrate(const mcs::TaskSet& ts, const mcs::partition::Partitioner& scheme) {
+  using namespace mcs;
+  std::cout << "\n--- " << scheme.name() << " ---\n";
+  const partition::PartitionResult r = scheme.run(ts, 2);
+  for (std::size_t core = 0; core < 2; ++core) {
+    std::cout << "  P" << core + 1 << ": {";
+    bool first = true;
+    for (std::size_t t : r.partition.tasks_on(core)) {
+      if (!first) std::cout << ", ";
+      std::cout << "tau_" << ts[t].id();
+      first = false;
+    }
+    std::cout << "}";
+    const analysis::Theorem1Result a =
+        analysis::improved_test(r.partition.utils_on(core));
+    const double util = analysis::core_utilization(r.partition.utils_on(core));
+    std::printf("  U = %s\n",
+                a.schedulable ? util::format_double(util, 4).c_str() : "inf");
+  }
+  if (r.success) {
+    const analysis::PartitionMetrics m = analysis::partition_metrics(r.partition);
+    std::printf("  SUCCESS: U_sys=%.4f U_avg=%.4f Lambda=%.4f\n", m.u_sys,
+                m.u_avg, m.imbalance);
+  } else {
+    std::printf("  FAILURE: tau_%zu cannot be placed on any core\n",
+                ts[*r.failed_task].id());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcs;
+  const TaskSet ts = make_paper_example();
+
+  // Table I: timing parameters and utilization contributions.
+  std::cout << "Table I - task parameters (K = 2, M = 2)\n";
+  util::Table table({"task", "c_i(1)", "c_i(2)", "p_i", "l_i", "u_i(1)",
+                     "u_i(2)", "C_i(1)", "C_i(2)", "C_i"});
+  const auto contribs = utilization_contributions(ts);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const McTask& t = ts[i];
+    table.begin_row();
+    table.add_cell("tau_" + std::to_string(t.id()));
+    table.add_cell(t.wcet(1), 1);
+    table.add_cell(t.level() >= 2 ? util::format_double(t.wcet(2), 1) : "-");
+    table.add_cell(t.period(), 0);
+    table.add_cell(static_cast<std::size_t>(t.level()));
+    table.add_cell(t.utilization(1), 4);
+    table.add_cell(t.level() >= 2 ? util::format_double(t.utilization(2), 4)
+                                  : "-");
+    table.add_cell(utilization_contribution(ts, i, 1), 4);
+    table.add_cell(t.level() >= 2
+                       ? util::format_double(utilization_contribution(ts, i, 2), 4)
+                       : "-");
+    table.add_cell(contribs[i].value, 4);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCA-TPA allocation order (decreasing contribution):";
+  for (std::size_t i : order_by_contribution(ts)) {
+    std::cout << " tau_" << ts[i].id();
+  }
+  std::cout << '\n';
+
+  // Tables II/III: every baseline fails, CA-TPA succeeds.
+  for (const auto& scheme : partition::paper_schemes(0.7)) {
+    narrate(ts, *scheme);
+  }
+
+  // And the CA-TPA partition survives a worst-case overrun storm at runtime.
+  const partition::CaTpaPartitioner catpa;
+  const partition::PartitionResult r = catpa.run(ts, 2);
+  const sim::FixedLevelScenario storm(2);
+  const sim::SimResult run = simulate(r.partition, storm);
+  std::printf(
+      "\nRuntime check (all HI jobs at level-2 budgets): %zu misses, "
+      "%llu mode switches over t=[0, %.0f)\n",
+      run.misses.size(),
+      static_cast<unsigned long long>(run.total(&sim::CoreStats::mode_switches)),
+      run.horizon);
+  return run.missed_deadline() ? 1 : 0;
+}

@@ -1,0 +1,157 @@
+#include "mcs/analysis/amc_rta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcs::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// ceil(a / b) for positive reals with a tolerance against x.9999999 cases.
+double ceil_div(double a, double b) {
+  return std::ceil(a / b - 1e-9);
+}
+
+/// Solves R = base + sum_j ceil(R / T_j) * C_j by fixed-point iteration,
+/// bounded by `deadline`.  Returns +inf when the iteration exceeds the
+/// deadline (the task is unschedulable anyway, so divergence is irrelevant).
+double fixed_point(double base,
+                   const std::vector<std::pair<double, double>>& interferers,
+                   double deadline) {
+  double r = base;
+  for (int iter = 0; iter < 10000; ++iter) {
+    double next = base;
+    for (const auto& [period, wcet] : interferers) {
+      next += ceil_div(r, period) * wcet;
+    }
+    if (next > deadline + 1e-9) return kInf;
+    if (next <= r + 1e-12) return next;
+    r = next;
+  }
+  return kInf;
+}
+
+/// AMC-rtb analysis of one task against an arbitrary set of higher-priority
+/// tasks (the test depends only on the *set*, which makes it compatible
+/// with Audsley's algorithm).
+AmcTaskResult analyze_task(const TaskSet& ts, std::size_t task_index,
+                           std::span<const std::size_t> higher) {
+  const McTask& task = ts[task_index];
+  const double deadline = task.period();  // implicit deadlines
+
+  AmcTaskResult tr;
+  tr.task_index = task_index;
+
+  std::vector<std::pair<double, double>> hp_lo;
+  hp_lo.reserve(higher.size());
+  for (std::size_t j : higher) {
+    hp_lo.emplace_back(ts[j].period(), ts[j].wcet(1));
+  }
+  tr.response_lo = fixed_point(task.wcet(1), hp_lo, deadline);
+  tr.schedulable = tr.response_lo <= deadline;
+
+  if (tr.schedulable && task.level() == 2) {
+    std::vector<std::pair<double, double>> hp_hi;
+    double lo_interference = 0.0;
+    for (std::size_t j : higher) {
+      if (ts[j].level() == 2) {
+        hp_hi.emplace_back(ts[j].period(), ts[j].wcet(2));
+      } else {
+        lo_interference +=
+            ceil_div(tr.response_lo, ts[j].period()) * ts[j].wcet(1);
+      }
+    }
+    tr.response_hi =
+        fixed_point(task.wcet(2) + lo_interference, hp_hi, deadline);
+    tr.schedulable = tr.response_hi <= deadline;
+  }
+  return tr;
+}
+
+void require_dual(const TaskSet& ts, const char* who) {
+  if (ts.num_levels() != 2) {
+    throw std::invalid_argument(std::string(who) +
+                                ": AMC-rtb is a dual-criticality analysis "
+                                "(K == 2)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> deadline_monotonic_order(
+    const TaskSet& ts, std::span<const std::size_t> members) {
+  std::vector<std::size_t> order(members.begin(), members.end());
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ts[a].period() != ts[b].period()) {
+      return ts[a].period() < ts[b].period();
+    }
+    return a < b;
+  });
+  return order;
+}
+
+AmcRtaResult amc_rtb_test_with_priorities(
+    const TaskSet& ts, std::span<const std::size_t> priority_order) {
+  require_dual(ts, "amc_rtb_test_with_priorities");
+  AmcRtaResult result;
+  result.schedulable = true;
+  std::vector<std::size_t> higher;
+  higher.reserve(priority_order.size());
+  for (std::size_t p = 0; p < priority_order.size(); ++p) {
+    AmcTaskResult tr = analyze_task(ts, priority_order[p], higher);
+    tr.priority = p;
+    result.schedulable = result.schedulable && tr.schedulable;
+    result.tasks.push_back(tr);
+    higher.push_back(priority_order[p]);
+  }
+  return result;
+}
+
+AmcRtaResult amc_rtb_test(const TaskSet& ts,
+                          std::span<const std::size_t> members) {
+  require_dual(ts, "amc_rtb_test");
+  return amc_rtb_test_with_priorities(ts, deadline_monotonic_order(ts, members));
+}
+
+AmcRtaResult amc_rtb_test(const TaskSet& ts) {
+  std::vector<std::size_t> all(ts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return amc_rtb_test(ts, all);
+}
+
+std::optional<std::vector<std::size_t>> audsley_assignment(
+    const TaskSet& ts, std::span<const std::size_t> members) {
+  require_dual(ts, "audsley_assignment");
+  // Try candidates in reverse deadline-monotonic order at each level: the
+  // longest-period task is the most natural candidate for the lowest
+  // priority, which keeps the search near-linear in practice.
+  std::vector<std::size_t> remaining = deadline_monotonic_order(ts, members);
+  std::vector<std::size_t> lowest_first;
+  lowest_first.reserve(remaining.size());
+  while (!remaining.empty()) {
+    bool placed = false;
+    for (std::size_t pos = remaining.size(); pos-- > 0;) {
+      const std::size_t candidate = remaining[pos];
+      std::vector<std::size_t> higher;
+      higher.reserve(remaining.size() - 1);
+      for (std::size_t other : remaining) {
+        if (other != candidate) higher.push_back(other);
+      }
+      if (analyze_task(ts, candidate, higher).schedulable) {
+        lowest_first.push_back(candidate);
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;  // OPA: no order exists
+  }
+  std::reverse(lowest_first.begin(), lowest_first.end());
+  return lowest_first;
+}
+
+}  // namespace mcs::analysis

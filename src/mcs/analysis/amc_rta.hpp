@@ -1,0 +1,71 @@
+// Fixed-priority AMC response-time analysis (dual criticality).
+//
+// Implements the AMC-rtb test of Baruah, Burns & Davis ("Response-time
+// analysis for mixed criticality systems", RTSS'11) for implicit-deadline
+// periodic tasks under deadline-monotonic priorities:
+//
+//  * LO mode, every task i:
+//      R_i = C_i(LO) + sum_{j in hp(i)} ceil(R_i / T_j) * C_j(LO)  <= D_i
+//  * HI mode (AMC-rtb), every HI task i:
+//      R*_i = C_i(HI) + sum_{j in hpH(i)} ceil(R*_i / T_j) * C_j(HI)
+//                     + sum_{k in hpL(i)} ceil(R_i / T_k) * C_k(LO) <= D_i
+//    where hpH/hpL split the higher-priority tasks by criticality and R_i is
+//    the task's LO-mode response time (the latest possible switch instant).
+//
+// This is the analysis behind partitioned fixed-priority MC scheduling
+// (Kelly, Aydin, Zhao — the paper's reference [22]); the library includes it
+// as the fixed-priority counterpart of the EDF-VD analyses so the two
+// per-core scheduler families can be compared (bench_fp_vs_edfvd).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::analysis {
+
+/// Per-task outcome of the AMC-rtb analysis.
+struct AmcTaskResult {
+  std::size_t task_index = 0;   ///< index into the TaskSet
+  std::size_t priority = 0;     ///< 0 = highest (deadline monotonic)
+  double response_lo = 0.0;     ///< LO-mode response time (inf if divergent)
+  double response_hi = 0.0;     ///< AMC-rtb bound (HI tasks only; 0 for LO)
+  bool schedulable = false;
+};
+
+struct AmcRtaResult {
+  bool schedulable = false;
+  std::vector<AmcTaskResult> tasks;  ///< in priority order
+};
+
+/// Runs AMC-rtb on the subset `members` of `ts`.  Requires
+/// ts.num_levels() == 2 (the analysis is defined for dual criticality);
+/// throws std::invalid_argument otherwise.  Priorities are deadline
+/// monotonic (shorter period first; ties to the smaller task index).
+[[nodiscard]] AmcRtaResult amc_rtb_test(const TaskSet& ts,
+                                        std::span<const std::size_t> members);
+
+/// Convenience: the whole task set on one core.
+[[nodiscard]] AmcRtaResult amc_rtb_test(const TaskSet& ts);
+
+/// Deadline-monotonic priority order of `members` (highest priority first).
+[[nodiscard]] std::vector<std::size_t> deadline_monotonic_order(
+    const TaskSet& ts, std::span<const std::size_t> members);
+
+/// Runs AMC-rtb under an explicit priority order (highest first) instead of
+/// deadline-monotonic.
+[[nodiscard]] AmcRtaResult amc_rtb_test_with_priorities(
+    const TaskSet& ts, std::span<const std::size_t> priority_order);
+
+/// Audsley's Optimal Priority Assignment over the AMC-rtb test (AMC-rtb is
+/// OPA-compatible): assigns priorities bottom-up, trying every unassigned
+/// task at the lowest open level.  Returns the priority order (highest
+/// first) if one exists — by OPA optimality, failure means *no* fixed
+/// priority order passes AMC-rtb for this subset.  Requires K == 2.
+[[nodiscard]] std::optional<std::vector<std::size_t>> audsley_assignment(
+    const TaskSet& ts, std::span<const std::size_t> members);
+
+}  // namespace mcs::analysis

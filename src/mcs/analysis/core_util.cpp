@@ -1,0 +1,63 @@
+#include "mcs/analysis/core_util.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcs::analysis {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double core_utilization(const Theorem1Result& result, ProbePolicy policy) {
+  if (!result.schedulable) return kInf;
+  if (result.avail.empty()) {
+    // K == 1: the improved test degenerates to plain EDF; treat U_1(1) as
+    // the utilization.  theta/mu are not populated, so reconstruct from the
+    // schedulability flag alone: the caller should prefer the UtilMatrix
+    // overload for K == 1 (it reports the exact value).
+    return 0.0;
+  }
+  if (policy == ProbePolicy::kFirstFeasible) {
+    // best_k is the smallest feasible condition index (1-based).
+    return 1.0 - result.avail[result.best_k - 1];
+  }
+  bool found = false;
+  double best = 0.0;
+  for (double a : result.avail) {
+    if (a < 0.0) continue;
+    const double u = 1.0 - a;
+    if (!found) {
+      best = u;
+      found = true;
+    } else if (policy == ProbePolicy::kMaxOverFeasible) {
+      best = std::max(best, u);
+    } else {
+      best = std::min(best, u);
+    }
+  }
+  return found ? best : kInf;
+}
+
+double core_utilization(const UtilMatrix& core, ProbePolicy policy) {
+  if (core.num_levels() == 1) {
+    const double u = core.level_util(1, 1);
+    return u <= 1.0 ? u : kInf;
+  }
+  return core_utilization(improved_test(core), policy);
+}
+
+ProbeResult probe_assignment(const Partition& partition, std::size_t task_index,
+                             std::size_t core, double current_util,
+                             ProbePolicy policy) {
+  UtilMatrix hypothetical = partition.utils_on(core);
+  hypothetical.add(partition.taskset()[task_index]);
+  const double new_util = core_utilization(hypothetical, policy);
+  ProbeResult r;
+  r.feasible = new_util != kInf;
+  r.new_util = new_util;
+  r.increment = r.feasible ? new_util - current_util : kInf;
+  return r;
+}
+
+}  // namespace mcs::analysis

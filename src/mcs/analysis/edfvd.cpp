@@ -1,0 +1,103 @@
+#include "mcs/analysis/edfvd.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcs::analysis {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool basic_test(const UtilMatrix& core) { return core.own_level_sum() <= 1.0; }
+
+Theorem1Result improved_test(const UtilMatrix& core) {
+  const Level K = core.num_levels();
+  Theorem1Result r;
+
+  if (K == 1) {
+    // Plain EDF: a single criticality level has no virtual deadlines.
+    r.schedulable = core.level_util(1, 1) <= 1.0;
+    r.best_k = r.schedulable ? 1 : 0;
+    return r;
+  }
+
+  // lambda_1 = 0; lambda_j (j >= 2) per Eq. (6).  `prod` carries
+  // prod_{x=1}^{j-1} (1 - lambda_x) while computing lambda_j.
+  r.lambda.assign(K - 1, 0.0);
+  r.lambda_valid_count = 1;  // lambda_1 = 0 is always valid
+  double prod = 1.0;
+  for (Level j = 2; j <= K - 1; ++j) {
+    double num = 0.0;
+    for (Level x = j; x <= K; ++x) {
+      num += core.level_util(x, j - 1);
+    }
+    const double denom = prod - core.level_util(j - 1, j - 1);
+    if (denom <= 0.0) break;
+    const double lam = num / denom;
+    if (lam < 0.0 || lam >= 1.0) break;
+    r.lambda[j - 1] = lam;
+    r.lambda_valid_count = j;
+    prod *= (1.0 - lam);
+  }
+
+  // The min term of theta, shared by every condition k.
+  const double ukk = core.level_util(K, K);
+  const double uk_prev = core.level_util(K, K - 1);
+  const double second = (ukk < 1.0) ? uk_prev / (1.0 - ukk) : kInf;
+  const double min_term = (ukk <= second) ? ukk : second;
+  r.min_picked_full_budget = (ukk <= second);
+
+  r.theta.assign(K - 1, 0.0);
+  r.mu.assign(K - 1, -kInf);
+  r.avail.assign(K - 1, -kInf);
+
+  // Suffix sums of U_i(i) for i = k..K-1, built from the top down.
+  double own_suffix = 0.0;
+  for (Level k = K - 1; k >= 1; --k) {
+    own_suffix += core.level_util(k, k);
+    r.theta[k - 1] = own_suffix + min_term;
+    if (k == 1) break;  // Level is unsigned
+  }
+
+  double mu_running = 1.0;
+  for (Level k = 1; k <= K - 1; ++k) {
+    if (k > r.lambda_valid_count) break;
+    mu_running *= (1.0 - r.lambda[k - 1]);
+    r.mu[k - 1] = mu_running;
+    r.avail[k - 1] = mu_running - r.theta[k - 1];
+    if (!r.schedulable && r.theta[k - 1] <= r.mu[k - 1]) {
+      r.schedulable = true;
+      r.best_k = k;
+    }
+  }
+  return r;
+}
+
+bool dual_test(const UtilMatrix& core) {
+  if (core.num_levels() != 2) {
+    throw std::invalid_argument("dual_test: requires exactly two levels");
+  }
+  const double u11 = core.level_util(1, 1);
+  const double u21 = core.level_util(2, 1);
+  const double u22 = core.level_util(2, 2);
+  const double second = (u22 < 1.0) ? u21 / (1.0 - u22) : kInf;
+  const double min_term = (u22 <= second) ? u22 : second;
+  return u11 + min_term <= 1.0;
+}
+
+double dual_scaling_factor(const UtilMatrix& core) {
+  if (core.num_levels() != 2) {
+    throw std::invalid_argument(
+        "dual_scaling_factor: requires exactly two levels");
+  }
+  const double u11 = core.level_util(1, 1);
+  const double u21 = core.level_util(2, 1);
+  if (u21 <= 0.0) return 1.0;     // no high-criticality demand
+  if (u11 >= 1.0) return 1.0;     // infeasible regardless; do not shrink
+  const double x = u21 / (1.0 - u11);
+  if (x <= 0.0 || x > 1.0) return 1.0;
+  return x;
+}
+
+}  // namespace mcs::analysis

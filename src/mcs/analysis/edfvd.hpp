@@ -1,0 +1,82 @@
+// EDF-VD uniprocessor schedulability tests for MC task subsets.
+//
+// Implements, for the subset of tasks on one core (given as a UtilMatrix):
+//
+//  * basic_test     -- Eq. (4):  sum_k U_k(k) <= 1.  Sufficient; reduces
+//                      EDF-VD to plain EDF (no virtual deadlines needed).
+//  * improved_test  -- Theorem 1 (Baruah et al., ESA'11, as restated in the
+//                      paper): for some k in 1..K-1,
+//
+//        theta(k) = sum_{i=k}^{K-1} U_i(i)
+//                   + min{ U_K(K), U_K(K-1) / (1 - U_K(K)) }
+//        mu(k)    = prod_{j=1}^{k} (1 - lambda_j)
+//        theta(k) <= mu(k)
+//
+//      with lambda_1 = 0 and, for j >= 2,
+//
+//        lambda_j = sum_{x=j}^{K} U_x(j-1)
+//                   / ( prod_{x=1}^{j-1} (1 - lambda_x) - U_{j-1}(j-1) ).
+//
+//      For K = 2 this reduces exactly to the paper's Eq. (7) with
+//      lambda_2 = U_2(1) / (1 - U_1(1)), the classical EDF-VD scaling factor.
+//  * dual_test      -- Eq. (7) directly (K == 2 convenience/reference).
+//
+// Numerical edge cases (see DESIGN.md): if U_K(K) >= 1 the min's second
+// operand is +infinity; a lambda_j is "valid" only when its denominator is
+// positive and the resulting value lies in [0, 1).  Conditions whose mu(k)
+// needs an invalid lambda are unusable.
+#pragma once
+
+#include <vector>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::analysis {
+
+/// Detailed outcome of the improved (Theorem 1) test on one core.
+struct Theorem1Result {
+  bool schedulable = false;
+
+  /// Smallest k (1-based) for which condition (5) holds; 0 if none.  The
+  /// runtime engine restores original deadlines once the core's mode reaches
+  /// this level (paper Sec. II-B).
+  Level best_k = 0;
+
+  /// lambda_j for j = 1..K-1 (index j-1).  Entries at or beyond
+  /// lambda_valid_count are meaningless.
+  std::vector<double> lambda;
+
+  /// Number of leading valid lambda_j values (lambda_1..lambda_v).
+  Level lambda_valid_count = 0;
+
+  /// theta(k), mu(k) and A(k) = mu(k) - theta(k) for k = 1..K-1 (index k-1).
+  /// For k > lambda_valid_count the condition is unusable: mu(k) is set to
+  /// -infinity so A(k) < 0.
+  std::vector<double> theta;
+  std::vector<double> mu;
+  std::vector<double> avail;
+
+  /// True when the min term in theta picked its first operand U_K(K); the
+  /// runtime engine then restores level-K deadlines at the mode switch.
+  bool min_picked_full_budget = true;
+};
+
+/// Eq. (4): sufficient utilization test.  Also covers K == 1 (plain EDF).
+[[nodiscard]] bool basic_test(const UtilMatrix& core);
+
+/// Theorem 1 improved test.  For K == 1 falls back to basic_test semantics
+/// (schedulable iff U_1(1) <= 1, with best_k = 1 by convention).
+[[nodiscard]] Theorem1Result improved_test(const UtilMatrix& core);
+
+/// Eq. (7): the dual-criticality (K == 2) specialization,
+/// U_1(1) + min{U_2(2), U_2(1)/(1 - U_2(2))} <= 1.
+/// Requires core.num_levels() == 2.
+[[nodiscard]] bool dual_test(const UtilMatrix& core);
+
+/// The classical dual-criticality EDF-VD deadline-scaling factor
+/// x = U_2(1) / (1 - U_1(1)), clamped to (0, 1].  Returns 1 when there are
+/// no level-2 tasks or when no shrinking is required/possible.
+/// Requires core.num_levels() == 2.
+[[nodiscard]] double dual_scaling_factor(const UtilMatrix& core);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,26 @@
+#include "mcs/analysis/global.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::analysis {
+
+bool gfb_test(const TaskSet& ts, std::size_t cores, Level k) {
+  if (cores == 0) {
+    throw std::invalid_argument("gfb_test: need at least one core");
+  }
+  if (k < 1 || k > ts.num_levels()) {
+    throw std::invalid_argument("gfb_test: level out of range");
+  }
+  double total = 0.0;
+  double max_u = 0.0;
+  for (const McTask& t : ts) {
+    const double u = t.utilization(std::min<Level>(k, t.level()));
+    total += u;
+    max_u = std::max(max_u, u);
+  }
+  const double m = static_cast<double>(cores);
+  return total <= m * (1.0 - max_u) + max_u + 1e-12;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,30 @@
+// Global-scheduling analysis helpers.
+//
+// gfb_test: the Goossens-Funk-Baruah sufficient test for *global EDF* of
+// implicit-deadline periodic/sporadic tasks on m identical cores:
+//
+//     U_sum <= m * (1 - u_max) + u_max
+//
+// evaluated at a chosen criticality level (each task contributes
+// u_i(min(k, l_i))).  At K = 1 this is the classical, proven-sound test; the
+// property suites validate it against the global engine.
+//
+// For mixed criticality there is no equally simple sound global test — the
+// literature (Li & Baruah, ECRTS'12) builds on fpEDF with involved carry-in
+// arguments.  This library deliberately does NOT ship a global MC
+// acceptance test; instead bench_global compares partitioned EDF-VD
+// (analysis-backed) against the global EDF-VD *runtime* empirically, the
+// same methodology as the empirical study the paper cites for preferring
+// partitioned scheduling (Bastoni et al.).
+#pragma once
+
+#include <cstddef>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::analysis {
+
+/// GFB at level k: every task contributes u_i(min(k, l_i)).
+[[nodiscard]] bool gfb_test(const TaskSet& ts, std::size_t cores, Level k = 1);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,44 @@
+#include "mcs/analysis/vdeadlines.hpp"
+
+#include <stdexcept>
+
+namespace mcs::analysis {
+
+DeadlinePolicy::DeadlinePolicy(const UtilMatrix& core)
+    : levels_(core.num_levels()), result_(improved_test(core)) {
+  const double ukk =
+      levels_ >= 1 ? core.level_util(levels_, levels_) : 0.0;
+  if (result_.schedulable && !result_.min_picked_full_budget && ukk < 1.0 &&
+      ukk > 0.0) {
+    level_k_scale_ = 1.0 - ukk;
+  } else {
+    level_k_scale_ = 1.0;
+  }
+}
+
+double DeadlinePolicy::scale(Level task_level, Level mode) const {
+  if (mode < 1 || mode > levels_ || task_level < mode ||
+      task_level > levels_) {
+    throw std::out_of_range("DeadlinePolicy::scale: (level, mode) invalid");
+  }
+  if (!result_.schedulable || levels_ == 1) return 1.0;
+
+  const Level k_star = result_.best_k;
+  if (mode < k_star) {
+    // Pre-switch regime: tasks above the mode run against shrunk deadlines.
+    if (task_level == mode) return 1.0;
+    double s = 1.0;
+    for (Level j = 2; j <= mode + 1; ++j) {
+      s *= result_.lambda[j - 1];  // lambda_j, valid since j <= k* <= valid
+    }
+    // lambda_2..lambda_{l+1} may include zero factors when no demand exists
+    // above; never scale to (or below) zero.
+    return s > 0.0 ? s : 1.0;
+  }
+  // Post-switch regime (mode >= k*): everyone but possibly L_K is restored.
+  if (task_level < levels_) return 1.0;
+  if (mode == levels_) return 1.0;  // final mode: only L_K remains, restored
+  return level_k_scale_;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,56 @@
+// Virtual-deadline assignment for the EDF-VD runtime (paper Sec. II-B).
+//
+// Given the improved-test result for one core's subset, the policy answers:
+// "while the core operates at mode l, what relative deadline does a task of
+// criticality level j >= l use?"  Mechanism (with k* the smallest condition
+// index satisfying Theorem 1):
+//
+//  * mode l < k*:    tasks at level l keep their full period; tasks at
+//                    levels j > l use p_i * prod_{j'=2}^{l+1} lambda_{j'}
+//                    (the recursive p-hat of the paper).
+//  * mode l >= k*:   tasks at levels k*..K-1 are restored to full periods.
+//                    Level-K tasks are restored too when the min term of
+//                    theta picked U_K(K); otherwise they use
+//                    p_i * (1 - U_K(K)) until the core reaches mode K, where
+//                    deadlines are always full (only L_K remains).
+//
+// For K = 2 this reduces to classical EDF-VD: HI tasks run with scaled
+// deadlines in LO mode (factor 1 - U_2(2) when scaling is needed) and full
+// deadlines in HI mode.
+//
+// If the subset fails the improved test, the policy degrades to plain EDF
+// (factor 1 everywhere) so that infeasible partitions can still be simulated
+// for demonstration.
+#pragma once
+
+#include "mcs/analysis/edfvd.hpp"
+
+namespace mcs::analysis {
+
+class DeadlinePolicy {
+ public:
+  /// Builds the policy for one core's subset (runs the improved test).
+  explicit DeadlinePolicy(const UtilMatrix& core);
+
+  /// Deadline scale factor in (0, 1] for a task of level `task_level` while
+  /// the core is at mode `mode`.  Requires 1 <= mode <= task_level <= K
+  /// (tasks below the mode are dropped, not scheduled).
+  [[nodiscard]] double scale(Level task_level, Level mode) const;
+
+  /// The condition index k* whose reach restores original deadlines, or 0
+  /// when the subset is not schedulable by the improved test.
+  [[nodiscard]] Level restore_level() const noexcept { return result_.best_k; }
+
+  [[nodiscard]] const Theorem1Result& analysis() const noexcept {
+    return result_;
+  }
+
+  [[nodiscard]] Level num_levels() const noexcept { return levels_; }
+
+ private:
+  Level levels_;
+  Theorem1Result result_;
+  double level_k_scale_;  ///< 1 - U_K(K) (or 1), used past the switch
+};
+
+}  // namespace mcs::analysis

@@ -1,0 +1,69 @@
+#include "mcs/core/contributions.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcs {
+
+double utilization_contribution(const TaskSet& ts, std::size_t task_index,
+                                Level k) {
+  const McTask& task = ts[task_index];
+  if (k < 1 || k > task.level()) {
+    throw std::out_of_range(
+        "utilization_contribution: level outside the task's valid range");
+  }
+  const double total = ts.total_util(k);
+  if (total <= 0.0) return 0.0;
+  return task.utilization(k) / total;
+}
+
+std::vector<Contribution> utilization_contributions(const TaskSet& ts) {
+  std::vector<Contribution> out;
+  out.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    Contribution c{.task_index = i, .value = -1.0, .argmax_level = 1};
+    for (Level k = 1; k <= ts[i].level(); ++k) {
+      const double v = utilization_contribution(ts, i, k);
+      if (v > c.value) {
+        c.value = v;
+        c.argmax_level = k;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorts indices by a (key, level, index) triple: larger key first, then
+/// higher criticality level, then smaller index.
+std::vector<std::size_t> order_by_key(const TaskSet& ts,
+                                      const std::vector<double>& key) {
+  std::vector<std::size_t> idx(ts.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (key[a] != key[b]) return key[a] > key[b];
+    if (ts[a].level() != ts[b].level()) return ts[a].level() > ts[b].level();
+    return a < b;
+  });
+  return idx;
+}
+
+}  // namespace
+
+std::vector<std::size_t> order_by_contribution(const TaskSet& ts) {
+  const std::vector<Contribution> contribs = utilization_contributions(ts);
+  std::vector<double> key(ts.size());
+  for (const Contribution& c : contribs) key[c.task_index] = c.value;
+  return order_by_key(ts, key);
+}
+
+std::vector<std::size_t> order_by_max_utilization(const TaskSet& ts) {
+  std::vector<double> key(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) key[i] = ts[i].max_utilization();
+  return order_by_key(ts, key);
+}
+
+}  // namespace mcs

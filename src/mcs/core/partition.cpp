@@ -1,0 +1,50 @@
+#include "mcs/core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs {
+
+Partition::Partition(const TaskSet& ts, std::size_t num_cores) : ts_(&ts) {
+  if (num_cores == 0) {
+    throw std::invalid_argument("Partition: need at least one core");
+  }
+  cores_.reserve(num_cores);
+  for (std::size_t m = 0; m < num_cores; ++m) {
+    cores_.emplace_back(ts.num_levels());
+  }
+  core_of_.assign(ts.size(), kUnassigned);
+}
+
+void Partition::assign(std::size_t task_index, std::size_t core) {
+  if (task_index >= ts_->size()) {
+    throw std::out_of_range("Partition::assign: task index out of range");
+  }
+  if (core >= cores_.size()) {
+    throw std::out_of_range("Partition::assign: core index out of range");
+  }
+  if (core_of_[task_index] != kUnassigned) {
+    throw std::logic_error("Partition::assign: task already assigned");
+  }
+  cores_[core].members.push_back(task_index);
+  cores_[core].utils.add((*ts_)[task_index]);
+  core_of_[task_index] = core;
+  ++assigned_;
+}
+
+void Partition::unassign(std::size_t task_index) {
+  if (task_index >= ts_->size()) {
+    throw std::out_of_range("Partition::unassign: task index out of range");
+  }
+  const std::size_t core = core_of_[task_index];
+  if (core == kUnassigned) {
+    throw std::logic_error("Partition::unassign: task is not assigned");
+  }
+  auto& members = cores_[core].members;
+  members.erase(std::find(members.begin(), members.end(), task_index));
+  cores_[core].utils.remove((*ts_)[task_index]);
+  core_of_[task_index] = kUnassigned;
+  --assigned_;
+}
+
+}  // namespace mcs

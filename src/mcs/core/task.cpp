@@ -1,0 +1,54 @@
+#include "mcs/core/task.hpp"
+
+#include <sstream>
+
+namespace mcs {
+
+McTask::McTask(std::size_t id, std::vector<double> wcets, double period)
+    : id_(id), wcets_(std::move(wcets)), period_(period) {
+  if (wcets_.empty()) {
+    throw std::invalid_argument("McTask: WCET vector must be non-empty");
+  }
+  if (!(period_ > 0.0)) {
+    throw std::invalid_argument("McTask: period must be positive");
+  }
+  double prev = 0.0;
+  for (double c : wcets_) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument("McTask: WCETs must be positive");
+    }
+    if (c < prev) {
+      throw std::invalid_argument(
+          "McTask: WCETs must be non-decreasing across criticality levels");
+    }
+    if (c > period_) {
+      throw std::invalid_argument(
+          "McTask: WCET exceeds period (task infeasible in isolation)");
+    }
+    prev = c;
+  }
+}
+
+double McTask::wcet(Level k) const {
+  if (k < 1 || k > level()) {
+    throw std::out_of_range("McTask::wcet: level out of range");
+  }
+  return wcets_[k - 1];
+}
+
+double McTask::utilization(Level k) const { return wcet(k) / period_; }
+
+double McTask::max_utilization() const { return wcets_.back() / period_; }
+
+std::string McTask::describe() const {
+  std::ostringstream os;
+  os << "tau_" << id_ << " (L" << level() << ", p=" << period_ << ", C=<";
+  for (std::size_t i = 0; i < wcets_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << wcets_[i];
+  }
+  os << ">)";
+  return os.str();
+}
+
+}  // namespace mcs

@@ -1,0 +1,63 @@
+// Mixed-criticality task model (Vestal model, implicit deadlines).
+//
+// A task tau_i = {C_i, p_i, l_i} has criticality level l_i in [1, K], period
+// (= relative deadline) p_i, and a WCET vector C_i = <c_i(1), ..., c_i(l_i)>
+// with c_i(1) <= c_i(2) <= ... <= c_i(l_i).  The level-k utilization is
+// u_i(k) = c_i(k) / p_i.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Criticality level, 1-based.  Level 1 is the lowest criticality; a system
+/// with K levels supports tasks at levels 1..K.
+using Level = unsigned;
+
+/// One mixed-criticality periodic task.
+class McTask {
+ public:
+  /// Builds a task from its WCET vector (index 0 holds c_i(1)), period and
+  /// implicit criticality level `wcets.size()`.
+  /// Throws std::invalid_argument on malformed parameters (empty WCETs,
+  /// non-increasing WCET vector, non-positive period or WCET, or a WCET
+  /// exceeding the period at any level).
+  McTask(std::size_t id, std::vector<double> wcets, double period);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] double period() const noexcept { return period_; }
+
+  /// The task's own criticality level l_i (= number of WCET entries).
+  [[nodiscard]] Level level() const noexcept {
+    return static_cast<Level>(wcets_.size());
+  }
+
+  /// c_i(k) for 1 <= k <= l_i.
+  [[nodiscard]] double wcet(Level k) const;
+
+  /// u_i(k) = c_i(k) / p_i for 1 <= k <= l_i.
+  [[nodiscard]] double utilization(Level k) const;
+
+  /// u_i(l_i): the task's utilization at its own criticality level, the only
+  /// quantity classical partitioning heuristics look at.
+  [[nodiscard]] double max_utilization() const;
+
+  [[nodiscard]] const std::vector<double>& wcets() const noexcept {
+    return wcets_;
+  }
+
+  [[nodiscard]] bool operator==(const McTask&) const = default;
+
+  /// Human-readable one-line description for traces and examples.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::size_t id_;
+  std::vector<double> wcets_;
+  double period_;
+};
+
+}  // namespace mcs

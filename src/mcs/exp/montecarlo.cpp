@@ -1,0 +1,64 @@
+#include "mcs/exp/montecarlo.hpp"
+
+#include <mutex>
+
+#include "mcs/util/thread_pool.hpp"
+
+namespace mcs::exp {
+
+PointResult run_point(const gen::GenParams& params,
+                      const partition::PartitionerList& schemes,
+                      const RunOptions& options, double x_value) {
+  PointResult point;
+  point.x = x_value;
+  point.schemes.resize(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    point.schemes[s].scheme = schemes[s]->name();
+  }
+
+  // Per-chunk partial aggregates merged under a lock at chunk end; the trial
+  // work itself is lock-free.
+  std::mutex merge_mutex;
+  constexpr std::uint64_t kChunk = 64;
+  const std::uint64_t chunks = (options.trials + kChunk - 1) / kChunk;
+
+  util::parallel_for(
+      static_cast<std::size_t>(chunks),
+      [&](std::size_t chunk) {
+        std::vector<SchemeAggregate> local(schemes.size());
+        const std::uint64_t begin = static_cast<std::uint64_t>(chunk) * kChunk;
+        const std::uint64_t end = std::min(begin + kChunk, options.trials);
+        for (std::uint64_t trial = begin; trial < end; ++trial) {
+          const TaskSet ts =
+              gen::generate_trial(params, options.seed, trial);
+          for (std::size_t s = 0; s < schemes.size(); ++s) {
+            SchemeAggregate& agg = local[s];
+            ++agg.trials;
+            const partition::PartitionResult result =
+                schemes[s]->run(ts, params.num_cores);
+            agg.probes.add(static_cast<double>(result.probes));
+            if (!result.success) continue;
+            ++agg.schedulable;
+            const analysis::PartitionMetrics m =
+                analysis::partition_metrics(result.partition);
+            agg.u_sys.add(m.u_sys);
+            agg.u_avg.add(m.u_avg);
+            agg.imbalance.add(m.imbalance);
+          }
+        }
+        const std::lock_guard lock(merge_mutex);
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+          point.schemes[s].trials += local[s].trials;
+          point.schemes[s].schedulable += local[s].schedulable;
+          point.schemes[s].u_sys.merge(local[s].u_sys);
+          point.schemes[s].u_avg.merge(local[s].u_avg);
+          point.schemes[s].imbalance.merge(local[s].imbalance);
+          point.schemes[s].probes.merge(local[s].probes);
+        }
+      },
+      options.threads);
+
+  return point;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,59 @@
+// Monte-Carlo evaluation of partitioning schemes (paper Sec. IV).
+//
+// For one experiment point (a GenParams configuration), `run_point` draws
+// `trials` independent task sets and runs every scheme on each, aggregating:
+//   * schedulability ratio  -- fraction of sets the scheme partitioned,
+//   * U_sys, U_avg, Lambda  -- averaged over the sets the scheme scheduled
+//                              (matching the paper: quality metrics consider
+//                              only schedulable task sets).
+// Trials are distributed over a thread pool; every trial re-derives its RNG
+// stream from (seed, trial), so results are independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcs/analysis/metrics.hpp"
+#include "mcs/exp/paper_params.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/partition/registry.hpp"
+#include "mcs/util/stats.hpp"
+
+namespace mcs::exp {
+
+/// Aggregated outcome of one scheme at one experiment point.
+struct SchemeAggregate {
+  std::string scheme;
+  std::uint64_t trials = 0;
+  std::uint64_t schedulable = 0;
+  util::Welford u_sys;
+  util::Welford u_avg;
+  util::Welford imbalance;
+  util::Welford probes;
+
+  [[nodiscard]] double ratio() const noexcept {
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(schedulable) / static_cast<double>(trials);
+  }
+};
+
+/// One experiment point: an x-axis value plus per-scheme aggregates.
+struct PointResult {
+  double x = 0.0;
+  std::vector<SchemeAggregate> schemes;
+};
+
+struct RunOptions {
+  std::uint64_t trials = kDefaultTrials;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Evaluates `schemes` on `trials` task sets drawn from `params`.
+[[nodiscard]] PointResult run_point(const gen::GenParams& params,
+                                    const partition::PartitionerList& schemes,
+                                    const RunOptions& options, double x_value);
+
+}  // namespace mcs::exp

@@ -1,0 +1,88 @@
+#include "mcs/exp/sweep.hpp"
+
+namespace mcs::exp {
+
+SweepResult run_sweep(
+    const Sweep& sweep, const RunOptions& options,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  SweepResult result;
+  result.sweep = sweep;
+  result.points.reserve(sweep.points.size());
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const SweepPoint& pt = sweep.points[i];
+    const partition::PartitionerList schemes =
+        pt.make_schemes ? pt.make_schemes()
+                        : partition::paper_schemes(kDefaultAlpha);
+    // Offset the seed per point so points draw independent workloads
+    // (unless the sweep wants common random numbers across points).
+    RunOptions point_options = options;
+    if (!sweep.share_workloads_across_points) {
+      point_options.seed = gen::derive_seed(options.seed, i);
+    }
+    result.points.push_back(run_point(pt.params, schemes, point_options, pt.x));
+    if (progress) progress(i + 1, sweep.points.size());
+  }
+  return result;
+}
+
+namespace {
+
+SweepPoint make_point(double x, gen::GenParams params, double alpha) {
+  return SweepPoint{
+      .x = x,
+      .params = params,
+      .make_schemes = [alpha] { return partition::paper_schemes(alpha); }};
+}
+
+}  // namespace
+
+Sweep make_fig1_nsu(const gen::GenParams& base, double alpha) {
+  Sweep s{.name = "fig1", .x_label = "NSU", .points = {}};
+  for (double nsu : kNsuRange) {
+    gen::GenParams p = base;
+    p.nsu = nsu;
+    s.points.push_back(make_point(nsu, p, alpha));
+  }
+  return s;
+}
+
+Sweep make_fig2_ifc(const gen::GenParams& base, double alpha) {
+  Sweep s{.name = "fig2", .x_label = "IFC", .points = {}};
+  for (double ifc : kIfcRange) {
+    gen::GenParams p = base;
+    p.ifc = ifc;
+    s.points.push_back(make_point(ifc, p, alpha));
+  }
+  return s;
+}
+
+Sweep make_fig3_alpha(const gen::GenParams& base) {
+  Sweep s{.name = "fig3", .x_label = "alpha", .points = {}};
+  s.share_workloads_across_points = true;  // only alpha varies with x
+  for (double alpha : kAlphaRange) {
+    s.points.push_back(make_point(alpha, base, alpha));
+  }
+  return s;
+}
+
+Sweep make_fig4_cores(const gen::GenParams& base, double alpha) {
+  Sweep s{.name = "fig4", .x_label = "M", .points = {}};
+  for (std::size_t m : kCoreRange) {
+    gen::GenParams p = base;
+    p.num_cores = m;
+    s.points.push_back(make_point(static_cast<double>(m), p, alpha));
+  }
+  return s;
+}
+
+Sweep make_fig5_levels(const gen::GenParams& base, double alpha) {
+  Sweep s{.name = "fig5", .x_label = "K", .points = {}};
+  for (Level k : kLevelRange) {
+    gen::GenParams p = base;
+    p.num_levels = k;
+    s.points.push_back(make_point(static_cast<double>(k), p, alpha));
+  }
+  return s;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,2 @@
+// rng.hpp is header-only; this translation unit only anchors the target.
+#include "mcs/gen/rng.hpp"

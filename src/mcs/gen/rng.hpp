@@ -1,0 +1,102 @@
+// Deterministic, splittable random-number generation.
+//
+// All randomness in the library flows from explicit 64-bit seeds through
+// xoshiro256** (seeded via splitmix64), so experiments are bit-reproducible
+// regardless of thread count: each Monte-Carlo trial forks its own stream
+// from (base_seed, trial_index) and never shares state across threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mcs::gen {
+
+/// splitmix64 step; used for seeding and for hashing seed hierarchies.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combines a seed with a stream index into a new independent seed.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL + stream * 0xD1B54A32D192ED03ULL);
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    // 53-bit mantissa path: uniform in [0, 1).
+    const double unit =
+        static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * unit;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo,
+                                          std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo + 1;  // span == 0 means the full range
+    if (span == 0) return (*this)();
+    // Lemire-style rejection to remove modulo bias.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t t = (0 - span) % span;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform(0, 1) < p; }
+
+  /// A new generator seeded independently from this one's stream `index`.
+  [[nodiscard]] Rng fork(std::uint64_t index) const noexcept {
+    return Rng(derive_seed(state_[0] ^ state_[3], index));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mcs::gen

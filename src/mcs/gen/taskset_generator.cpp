@@ -1,0 +1,83 @@
+#include "mcs/gen/taskset_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::gen {
+
+TaskSet generate(const GenParams& params, Rng& rng, GenStats* stats) {
+  if (params.num_cores == 0) {
+    throw std::invalid_argument("generate: need at least one core");
+  }
+  if (!(params.nsu > 0.0)) {
+    throw std::invalid_argument("generate: NSU must be positive");
+  }
+  if (params.ifc < 0.0) {
+    throw std::invalid_argument("generate: IFC must be nonnegative");
+  }
+  if (!params.random_levels && params.num_levels < 1) {
+    throw std::invalid_argument("generate: need at least one level");
+  }
+  for (const auto& [lo, hi] : params.period_classes) {
+    if (!(lo > 0.0) || hi < lo) {
+      throw std::invalid_argument("generate: malformed period class");
+    }
+  }
+
+  const Level K = params.random_levels
+                      ? static_cast<Level>(rng.uniform_int(2, 6))
+                      : params.num_levels;
+  const std::size_t N = params.num_tasks != 0
+                            ? params.num_tasks
+                            : static_cast<std::size_t>(rng.uniform_int(40, 200));
+
+  const double u_base =
+      params.nsu * static_cast<double>(params.num_cores) /
+      static_cast<double>(N);
+
+  std::vector<McTask> tasks;
+  tasks.reserve(N);
+  std::size_t caps = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto cls = static_cast<std::size_t>(
+        rng.uniform_int(0, params.period_classes.size() - 1));
+    const auto [plo, phi] = params.period_classes[cls];
+    const double period = rng.uniform(plo, phi);
+
+    double c1 = rng.uniform(params.wcet_spread_lo, params.wcet_spread_hi) *
+                period * u_base;
+    if (c1 > period) {
+      c1 = period;
+      ++caps;
+    }
+
+    const Level level = static_cast<Level>(rng.uniform_int(1, K));
+    std::vector<double> wcets;
+    wcets.reserve(level);
+    double c = c1;
+    for (Level k = 1; k <= level; ++k) {
+      if (k > 1) c *= (1.0 + params.ifc);
+      if (c > period) {
+        c = period;
+        ++caps;
+      }
+      wcets.push_back(c);
+    }
+    tasks.emplace_back(i, std::move(wcets), period);
+  }
+
+  if (stats != nullptr) {
+    stats->wcet_caps = caps;
+    stats->levels = K;
+    stats->tasks = N;
+  }
+  return TaskSet(std::move(tasks), K);
+}
+
+TaskSet generate_trial(const GenParams& params, std::uint64_t seed,
+                       std::uint64_t trial, GenStats* stats) {
+  Rng rng(derive_seed(seed, trial));
+  return generate(params, rng, stats);
+}
+
+}  // namespace mcs::gen

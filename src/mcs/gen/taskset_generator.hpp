@@ -1,0 +1,56 @@
+// Synthetic MC workload generator (paper Sec. IV-A, Table IV).
+//
+// For M cores, N tasks and normalized system utilization NSU, the base
+// level-1 task utilization is u_base = NSU * M / N.  For each task:
+//   * the period p_i is drawn uniformly from one of the three period classes
+//     (the class itself drawn uniformly),
+//   * c_i(1) ~ U[0.2, 1.8] * p_i * u_base,
+//   * the criticality level l_i ~ U{1..K},
+//   * c_i(k) = (1 + IFC) * c_i(k-1) for k = 2..l_i, capped at p_i so the
+//     task stays individually feasible (cap occurrences are rare at the
+//     paper's parameter ranges and are counted in GenStats).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "mcs/core/taskset.hpp"
+#include "mcs/gen/rng.hpp"
+
+namespace mcs::gen {
+
+struct GenParams {
+  std::size_t num_cores = 8;  ///< M
+  Level num_levels = 4;       ///< K; ignored when random_levels is set
+  bool random_levels = false; ///< draw K ~ U{2..6} per task set
+  double nsu = 0.6;           ///< normalized system utilization
+  double ifc = 0.4;           ///< WCET increment factor between levels
+  /// Fixed task count; 0 draws N ~ U{40..200} per set (Table IV).
+  std::size_t num_tasks = 0;
+  /// Period classes (Table IV): [50,200], [200,500], [500,2000].
+  std::array<std::pair<double, double>, 3> period_classes{
+      {{50.0, 200.0}, {200.0, 500.0}, {500.0, 2000.0}}};
+  /// c_i(1) spread around u_base (paper: [0.2, 1.8]).
+  double wcet_spread_lo = 0.2;
+  double wcet_spread_hi = 1.8;
+};
+
+struct GenStats {
+  std::size_t wcet_caps = 0;  ///< WCET entries clamped to the period
+  Level levels = 0;           ///< the K actually used
+  std::size_t tasks = 0;      ///< the N actually used
+};
+
+/// Generates one task set.  `stats`, when non-null, receives bookkeeping
+/// about the draw.  Throws std::invalid_argument on nonsensical parameters.
+[[nodiscard]] TaskSet generate(const GenParams& params, Rng& rng,
+                               GenStats* stats = nullptr);
+
+/// Convenience: generator for trial `trial` of an experiment with base seed
+/// `seed` (deterministic irrespective of threading).
+[[nodiscard]] TaskSet generate_trial(const GenParams& params,
+                                     std::uint64_t seed, std::uint64_t trial,
+                                     GenStats* stats = nullptr);
+
+}  // namespace mcs::gen

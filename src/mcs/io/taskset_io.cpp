@@ -1,0 +1,190 @@
+#include "mcs/io/taskset_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("taskset_io: line " + std::to_string(line) + ": " +
+                           message);
+}
+
+/// Strips comments and splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string stripped = line;
+  if (const auto hash = stripped.find('#'); hash != std::string::npos) {
+    stripped.resize(hash);
+  }
+  std::istringstream is(stripped);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_double(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) fail(line, "trailing junk in number '" + token + "'");
+    return v;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + token + "'");
+  }
+}
+
+std::size_t parse_index(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(token, &used);
+    if (used != token.size()) fail(line, "trailing junk in integer '" + token + "'");
+    return static_cast<std::size_t>(v);
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "expected an integer, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+TaskSet read_taskset(std::istream& in) {
+  std::vector<McTask> tasks;
+  Level levels = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "K") {
+      if (tokens.size() != 2) fail(line_no, "K expects one value");
+      levels = static_cast<Level>(parse_index(tokens[1], line_no));
+    } else if (tokens[0] == "task") {
+      if (tokens.size() < 4) {
+        fail(line_no, "task expects: task <id> <period> <c(1)> [c(2) ...]");
+      }
+      const std::size_t id = parse_index(tokens[1], line_no);
+      const double period = parse_double(tokens[2], line_no);
+      std::vector<double> wcets;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        wcets.push_back(parse_double(tokens[i], line_no));
+      }
+      try {
+        tasks.emplace_back(id, std::move(wcets), period);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (levels == 0) {
+    for (const McTask& t : tasks) levels = std::max(levels, t.level());
+  }
+  if (tasks.empty()) {
+    throw std::runtime_error("taskset_io: no tasks in input");
+  }
+  std::map<std::size_t, bool> ids;
+  for (const McTask& t : tasks) {
+    if (ids.count(t.id()) != 0) {
+      throw std::runtime_error("taskset_io: duplicate task id " +
+                               std::to_string(t.id()));
+    }
+    ids[t.id()] = true;
+  }
+  try {
+    return TaskSet(std::move(tasks), levels);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("taskset_io: ") + e.what());
+  }
+}
+
+TaskSet load_taskset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("taskset_io: cannot open '" + path + "'");
+  }
+  return read_taskset(in);
+}
+
+void write_taskset(std::ostream& out, const TaskSet& ts) {
+  out << "# mcs task set: " << ts.size() << " tasks, K = " << ts.num_levels()
+      << "\nK " << ts.num_levels() << '\n';
+  out << std::setprecision(17);
+  for (const McTask& t : ts) {
+    out << "task " << t.id() << ' ' << t.period();
+    for (double c : t.wcets()) out << ' ' << c;
+    out << '\n';
+  }
+}
+
+void save_taskset(const std::string& path, const TaskSet& ts) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("taskset_io: cannot open '" + path +
+                             "' for writing");
+  }
+  write_taskset(out, ts);
+}
+
+void write_partition(std::ostream& out, const Partition& partition) {
+  const TaskSet& ts = partition.taskset();
+  out << "cores " << partition.num_cores() << '\n';
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (partition.core_of(i) == kUnassigned) continue;
+    out << "assign " << ts[i].id() << ' ' << partition.core_of(i) << '\n';
+  }
+}
+
+Partition read_partition(std::istream& in, const TaskSet& ts) {
+  std::map<std::size_t, std::size_t> index_of_id;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    index_of_id[ts[i].id()] = i;
+  }
+  std::size_t cores = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> assignments;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "cores") {
+      if (tokens.size() != 2) fail(line_no, "cores expects one value");
+      cores = parse_index(tokens[1], line_no);
+    } else if (tokens[0] == "assign") {
+      if (tokens.size() != 3) fail(line_no, "assign expects <task-id> <core>");
+      const std::size_t id = parse_index(tokens[1], line_no);
+      const auto it = index_of_id.find(id);
+      if (it == index_of_id.end()) {
+        fail(line_no, "unknown task id " + std::to_string(id));
+      }
+      assignments.emplace_back(it->second, parse_index(tokens[2], line_no));
+    } else {
+      fail(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (cores == 0) {
+    throw std::runtime_error("taskset_io: partition missing 'cores' line");
+  }
+  Partition partition(ts, cores);
+  for (const auto& [task, core] : assignments) {
+    if (core >= cores) {
+      throw std::runtime_error("taskset_io: core index out of range");
+    }
+    partition.assign(task, core);
+  }
+  return partition;
+}
+
+}  // namespace mcs::io

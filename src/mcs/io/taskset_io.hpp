@@ -1,0 +1,46 @@
+// Plain-text serialization of task sets and partitions.
+//
+// Format (line-oriented, '#' comments, blank lines ignored):
+//
+//   # K <levels>
+//   K 2
+//   # task <id> <period> <c(1)> [c(2) ... c(l)]
+//   task 1 80 15.1 32.4
+//   task 3 60 22
+//
+// Partition files map task ids to cores:
+//
+//   # assign <task-id> <core>
+//   cores 2
+//   assign 1 0
+//
+// The format is deliberately trivial so task sets can be produced by hand,
+// by scripts, or exported from the generator and fed back into the
+// analysis/partitioning/simulation tools (examples/taskset_tool).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcs/core/partition.hpp"
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::io {
+
+/// Parses a task set.  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] TaskSet read_taskset(std::istream& in);
+[[nodiscard]] TaskSet load_taskset(const std::string& path);
+
+/// Serializes a task set (round-trips through read_taskset).
+void write_taskset(std::ostream& out, const TaskSet& ts);
+void save_taskset(const std::string& path, const TaskSet& ts);
+
+/// Serializes a partition of `ts` ("cores M" plus one "assign" per task).
+void write_partition(std::ostream& out, const Partition& partition);
+
+/// Parses a partition for `ts` (task ids must match; unassigned tasks are
+/// permitted and left unassigned).
+[[nodiscard]] Partition read_partition(std::istream& in, const TaskSet& ts);
+
+}  // namespace mcs::io

@@ -1,0 +1,60 @@
+// CA-TPA: Criticality-Aware Task Partitioning Algorithm (paper Sec. III).
+//
+// Tasks are processed in decreasing utilization-contribution order.  Each
+// task is probed on every core; the core whose core utilization U^{Psi_m}
+// (Eq. 9) would grow by the smallest increment (Eq. 14-15) receives the
+// task, provided the improved EDF-VD test still holds there.  Ties go to the
+// smaller core index.
+//
+// Workload-imbalance control (Sec. III-C): before placing a task, the
+// current imbalance factor Lambda = (U_sys - U_min) / U_sys is computed; if
+// Lambda >= alpha, the task instead goes to the feasible core with the
+// minimum current utilization (WFD-like), re-balancing the partition.
+//
+// Options expose the ablation axes studied in bench/:
+//   * ordering key (contribution vs classical max-utilization),
+//   * imbalance threshold on/off and its alpha,
+//   * probe policy (Eq. 9b max, or the min variant).
+#pragma once
+
+#include "mcs/analysis/metrics.hpp"
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+struct CaTpaOptions {
+  /// Threshold alpha for the imbalance fallback.  Default from the paper's
+  /// simulation defaults (Sec. IV-A).
+  double alpha = 0.7;
+  /// Disable the imbalance fallback entirely (ablation A1).
+  bool use_imbalance_control = true;
+  /// Order by contribution (paper) or by max utilization (ablation A2).
+  bool order_by_contribution = true;
+  /// Eq. (9b) policy for folding conditions into a utilization (ablation A3).
+  analysis::ProbePolicy probe_policy = analysis::ProbePolicy::kMinOverFeasible;
+  /// Extension (beyond the paper): when a task fits on no core, attempt a
+  /// single-migration repair — move one already-placed task to another core
+  /// to make room.  Names the scheme "CA-TPA-R".
+  bool enable_repair = false;
+  /// Custom display name; empty selects an automatic one.
+  std::string display_name;
+};
+
+class CaTpaPartitioner final : public Partitioner {
+ public:
+  explicit CaTpaPartitioner(CaTpaOptions options = {});
+
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const CaTpaOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  CaTpaOptions options_;
+  std::string name_;
+};
+
+}  // namespace mcs::partition

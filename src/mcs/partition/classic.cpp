@@ -1,0 +1,63 @@
+#include "mcs/partition/classic.hpp"
+
+namespace mcs::partition {
+
+std::optional<std::size_t> allocate_with_rule(
+    Partition& partition, const std::vector<std::size_t>& order, FitRule rule,
+    std::size_t& probes, TestStrength strength) {
+  const std::size_t cores = partition.num_cores();
+  const bool basic_only = strength == TestStrength::kBasicOnly;
+  for (std::size_t t : order) {
+    std::size_t chosen = kUnassigned;
+    double chosen_load = 0.0;
+    for (std::size_t m = 0; m < cores; ++m) {
+      const bool ok = basic_only ? fits_basic_only(partition, t, m, probes)
+                                 : fits(partition, t, m, probes);
+      if (!ok) continue;
+      if (rule == FitRule::kFirst) {
+        chosen = m;
+        break;
+      }
+      const double load = partition.utils_on(m).own_level_sum();
+      const bool better =
+          chosen == kUnassigned ||
+          (rule == FitRule::kBest ? load > chosen_load : load < chosen_load);
+      if (better) {
+        chosen = m;
+        chosen_load = load;
+      }
+    }
+    if (chosen == kUnassigned) return t;
+    partition.assign(t, chosen);
+  }
+  return std::nullopt;
+}
+
+PartitionResult ClassicPartitioner::run(const TaskSet& ts,
+                                        std::size_t num_cores) const {
+  PartitionResult r{.partition = Partition(ts, num_cores)};
+  const std::vector<std::size_t> order = order_by_max_utilization(ts);
+  r.failed_task =
+      allocate_with_rule(r.partition, order, rule_, r.probes, strength_);
+  r.success = !r.failed_task.has_value();
+  return r;
+}
+
+std::string ClassicPartitioner::name() const {
+  std::string base = "classic";
+  switch (rule_) {
+    case FitRule::kFirst:
+      base = "FFD";
+      break;
+    case FitRule::kBest:
+      base = "BFD";
+      break;
+    case FitRule::kWorst:
+      base = "WFD";
+      break;
+  }
+  if (strength_ == TestStrength::kBasicOnly) base += "/eq4";
+  return base;
+}
+
+}  // namespace mcs::partition

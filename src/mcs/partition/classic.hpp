@@ -1,0 +1,53 @@
+// Classical bin-packing heuristics: FFD, BFD, WFD (paper Sec. IV baselines).
+//
+// Tasks are ordered by decreasing maximum utilization u_i(l_i).  Feasibility
+// on a core is Eq. (4) first, Theorem 1 as fallback.  "Load" for best/worst
+// fit is the classical own-level utilization sum (the Eq. 4 left-hand side),
+// matching schemes that look only at tasks' maximum utilizations.
+#pragma once
+
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+enum class FitRule {
+  kFirst,  ///< lowest-index feasible core
+  kBest,   ///< feasible core with the highest current load (tightest fit)
+  kWorst,  ///< feasible core with the lowest current load (most headroom)
+};
+
+/// Which schedulability test gates a placement (ablation A4: the paper's
+/// baselines use Eq. (4) with a Theorem-1 fallback; earlier literature used
+/// Eq. (4) alone).
+enum class TestStrength {
+  kBasicOnly,          ///< Eq. (4) only
+  kBasicThenImproved,  ///< Eq. (4) fast path, Theorem 1 fallback (paper)
+};
+
+/// FFD / BFD / WFD, selected by the fit rule.
+class ClassicPartitioner final : public Partitioner {
+ public:
+  explicit ClassicPartitioner(
+      FitRule rule, TestStrength strength = TestStrength::kBasicThenImproved)
+      : rule_(rule), strength_(strength) {}
+
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] FitRule rule() const noexcept { return rule_; }
+
+ private:
+  FitRule rule_;
+  TestStrength strength_;
+};
+
+/// Allocates `order`-ed tasks with the given fit rule onto `partition`,
+/// starting from its current state.  Returns the first unplaceable task, or
+/// nullopt if all were placed.  Shared by the classic schemes and Hybrid.
+std::optional<std::size_t> allocate_with_rule(
+    Partition& partition, const std::vector<std::size_t>& order, FitRule rule,
+    std::size_t& probes,
+    TestStrength strength = TestStrength::kBasicThenImproved);
+
+}  // namespace mcs::partition

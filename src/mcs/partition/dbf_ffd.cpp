@@ -1,0 +1,41 @@
+#include "mcs/partition/dbf_ffd.hpp"
+
+#include <stdexcept>
+
+#include "mcs/core/contributions.hpp"
+
+namespace mcs::partition {
+
+PartitionResult DbfFfdPartitioner::run(const TaskSet& ts,
+                                       std::size_t num_cores) const {
+  if (ts.num_levels() != 2) {
+    throw std::invalid_argument(
+        "DbfFfdPartitioner: requires a dual-criticality task set");
+  }
+  PartitionResult r{.partition = Partition(ts, num_cores)};
+  const std::vector<std::size_t> order = order_by_contribution_
+                                             ? order_by_contribution(ts)
+                                             : order_by_max_utilization(ts);
+  for (std::size_t t : order) {
+    std::size_t chosen = kUnassigned;
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      ++r.probes;
+      std::vector<std::size_t> members = r.partition.tasks_on(m);
+      members.push_back(t);
+      if (analysis::dbf_dual_test(ts, members, options_).schedulable) {
+        chosen = m;
+        break;
+      }
+    }
+    if (chosen == kUnassigned) {
+      r.failed_task = t;
+      r.success = false;
+      return r;
+    }
+    r.partition.assign(t, chosen);
+  }
+  r.success = true;
+  return r;
+}
+
+}  // namespace mcs::partition

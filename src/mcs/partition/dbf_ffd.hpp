@@ -1,0 +1,37 @@
+// DBF-gated first-fit partitioner for dual-criticality systems, modeling
+// the higher-complexity partitioned scheme of Gu, Guan, Deng & Yi (DATE'14,
+// the paper's reference [20]): classical FFD ordering, but a core accepts a
+// task iff the demand-bound-function test (analysis/dbf.hpp) still passes.
+#pragma once
+
+#include "mcs/analysis/dbf.hpp"
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+class DbfFfdPartitioner final : public Partitioner {
+ public:
+  /// `order_by_contribution` applies CA-TPA's Sec. III-A task ordering on
+  /// top of the DBF feasibility test (combining the paper's ordering idea
+  /// with [20]'s finer test); the default is the classical max-utilization
+  /// FFD ordering [20] uses.
+  explicit DbfFfdPartitioner(analysis::DbfOptions options = {},
+                             bool order_by_contribution = false)
+      : options_(options), order_by_contribution_(order_by_contribution) {}
+
+  /// Requires ts.num_levels() == 2; throws std::invalid_argument otherwise.
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const override;
+  [[nodiscard]] std::string name() const override {
+    return order_by_contribution_ ? "DBF-FFD/contrib" : "DBF-FFD";
+  }
+
+  /// The accepted per-core deadline scales of the last successful run are
+  /// not stored (the partitioner is stateless); re-derive them with
+  /// analysis::dbf_dual_test on each core's subset.
+ private:
+  analysis::DbfOptions options_;
+  bool order_by_contribution_;
+};
+
+}  // namespace mcs::partition

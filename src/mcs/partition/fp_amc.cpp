@@ -1,0 +1,95 @@
+#include "mcs/partition/fp_amc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mcs/analysis/amc_rta.hpp"
+
+namespace mcs::partition {
+
+namespace {
+
+/// AMC-rtb feasibility of core `core` with `task_index` tentatively added,
+/// under the configured priority-assignment policy.
+bool fits_amc(const Partition& partition, std::size_t task_index,
+              std::size_t core, PriorityAssignment assignment,
+              std::size_t& probes) {
+  ++probes;
+  std::vector<std::size_t> members = partition.tasks_on(core);
+  members.push_back(task_index);
+  if (assignment == PriorityAssignment::kAudsley) {
+    return analysis::audsley_assignment(partition.taskset(), members)
+        .has_value();
+  }
+  return analysis::amc_rtb_test(partition.taskset(), members).schedulable;
+}
+
+}  // namespace
+
+PartitionResult FpAmcPartitioner::run(const TaskSet& ts,
+                                      std::size_t num_cores) const {
+  if (ts.num_levels() != 2) {
+    throw std::invalid_argument(
+        "FpAmcPartitioner: requires a dual-criticality task set");
+  }
+  PartitionResult r{.partition = Partition(ts, num_cores)};
+
+  // Criticality-first ordering (HI before LO), decreasing max utilization
+  // within each group.
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ts[a].level() != ts[b].level()) return ts[a].level() > ts[b].level();
+    if (ts[a].max_utilization() != ts[b].max_utilization()) {
+      return ts[a].max_utilization() > ts[b].max_utilization();
+    }
+    return a < b;
+  });
+
+  for (std::size_t t : order) {
+    std::size_t chosen = kUnassigned;
+    double chosen_load = 0.0;
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      if (!fits_amc(r.partition, t, m, assignment_, r.probes)) continue;
+      if (rule_ == FitRule::kFirst) {
+        chosen = m;
+        break;
+      }
+      const double load = r.partition.utils_on(m).own_level_sum();
+      const bool better =
+          chosen == kUnassigned ||
+          (rule_ == FitRule::kBest ? load > chosen_load : load < chosen_load);
+      if (better) {
+        chosen = m;
+        chosen_load = load;
+      }
+    }
+    if (chosen == kUnassigned) {
+      r.failed_task = t;
+      r.success = false;
+      return r;
+    }
+    r.partition.assign(t, chosen);
+  }
+  r.success = true;
+  return r;
+}
+
+std::string FpAmcPartitioner::name() const {
+  std::string base = "FP-AMC";
+  switch (rule_) {
+    case FitRule::kFirst:
+      base = "FP-AMC/FF";
+      break;
+    case FitRule::kBest:
+      base = "FP-AMC/BF";
+      break;
+    case FitRule::kWorst:
+      base = "FP-AMC/WF";
+      break;
+  }
+  if (assignment_ == PriorityAssignment::kAudsley) base += "/OPA";
+  return base;
+}
+
+}  // namespace mcs::partition

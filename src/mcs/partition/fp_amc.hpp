@@ -1,0 +1,41 @@
+// Partitioned fixed-priority mixed-criticality scheme (dual criticality),
+// after Kelly, Aydin & Zhao ("On partitioned scheduling of fixed-priority
+// mixed-criticality task sets", the paper's reference [22]): tasks are
+// ordered by decreasing criticality level first and decreasing maximum
+// utilization within a level, then placed with a classical fit rule; a core
+// accepts a task iff the AMC-rtb response-time analysis still passes.
+//
+// Included as the fixed-priority counterpart of the partitioned EDF-VD
+// schemes so the two families can be compared (bench_fp_vs_edfvd).
+#pragma once
+
+#include "mcs/partition/classic.hpp"
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+/// How per-core priorities are assigned / tested.
+enum class PriorityAssignment {
+  kDeadlineMonotonic,  ///< classic DM + AMC-rtb
+  kAudsley,            ///< optimal priority assignment over AMC-rtb
+};
+
+class FpAmcPartitioner final : public Partitioner {
+ public:
+  explicit FpAmcPartitioner(
+      FitRule rule = FitRule::kFirst,
+      PriorityAssignment assignment = PriorityAssignment::kDeadlineMonotonic)
+      : rule_(rule), assignment_(assignment) {}
+
+  /// Requires ts.num_levels() == 2 (AMC-rtb is dual-criticality); throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  FitRule rule_;
+  PriorityAssignment assignment_;
+};
+
+}  // namespace mcs::partition

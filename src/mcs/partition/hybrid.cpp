@@ -1,0 +1,44 @@
+#include "mcs/partition/hybrid.hpp"
+
+#include <algorithm>
+
+#include "mcs/partition/classic.hpp"
+
+namespace mcs::partition {
+
+PartitionResult HybridPartitioner::run(const TaskSet& ts,
+                                       std::size_t num_cores) const {
+  PartitionResult r{.partition = Partition(ts, num_cores)};
+
+  std::vector<std::size_t> high;
+  std::vector<std::size_t> low;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    (ts[i].level() >= 2 ? high : low).push_back(i);
+  }
+  auto by_level_then_util = [&](std::size_t a, std::size_t b) {
+    if (ts[a].level() != ts[b].level()) return ts[a].level() > ts[b].level();
+    if (ts[a].max_utilization() != ts[b].max_utilization()) {
+      return ts[a].max_utilization() > ts[b].max_utilization();
+    }
+    return a < b;
+  };
+  auto by_util = [&](std::size_t a, std::size_t b) {
+    if (ts[a].max_utilization() != ts[b].max_utilization()) {
+      return ts[a].max_utilization() > ts[b].max_utilization();
+    }
+    return a < b;
+  };
+  std::sort(high.begin(), high.end(), by_level_then_util);
+  std::sort(low.begin(), low.end(), by_util);
+
+  r.failed_task =
+      allocate_with_rule(r.partition, high, FitRule::kWorst, r.probes);
+  if (!r.failed_task) {
+    r.failed_task =
+        allocate_with_rule(r.partition, low, FitRule::kFirst, r.probes);
+  }
+  r.success = !r.failed_task.has_value();
+  return r;
+}
+
+}  // namespace mcs::partition

@@ -1,0 +1,22 @@
+// Hybrid partitioner (Rodriguez et al. [28], generalized to K levels).
+//
+// High-criticality tasks (level >= 2) are allocated first with WFD to spread
+// the critical workload, then the level-1 tasks are packed with FFD.  Within
+// the high group, tasks are processed in decreasing criticality level and,
+// within a level, decreasing maximum utilization; the low group is ordered
+// by decreasing maximum utilization.  At K = 2 this is exactly the cited
+// dual-criticality scheme.
+#pragma once
+
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+class HybridPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const override;
+  [[nodiscard]] std::string name() const override { return "Hybrid"; }
+};
+
+}  // namespace mcs::partition

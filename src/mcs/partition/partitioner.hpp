@@ -1,0 +1,56 @@
+// Partitioner interface and shared machinery.
+//
+// A Partitioner maps a TaskSet onto M cores such that every core passes the
+// EDF-VD schedulability test (Eq. 4 fast path, Theorem 1 full test).  All
+// schemes in the paper fit a two-step template: (a) order the tasks, (b) pick
+// a target core per task.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcs/analysis/core_util.hpp"
+#include "mcs/core/contributions.hpp"
+#include "mcs/core/partition.hpp"
+
+namespace mcs::partition {
+
+/// Outcome of one partitioning attempt.
+struct PartitionResult {
+  /// The (complete, feasible) partition on success; a partial partition up
+  /// to the first unplaceable task on failure.
+  Partition partition;
+  bool success = false;
+  /// Index of the first task that could not be placed (only on failure).
+  std::optional<std::size_t> failed_task;
+  /// Number of feasibility probes performed (for complexity studies).
+  std::size_t probes = 0;
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Attempts to partition `ts` over `num_cores` cores.
+  [[nodiscard]] virtual PartitionResult run(const TaskSet& ts,
+                                            std::size_t num_cores) const = 0;
+
+  /// Short display name ("CA-TPA", "FFD", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// True when core `core` of `partition` can feasibly accept task
+/// `task_index`: the cheap Eq. (4) test first, Theorem 1 as fallback — the
+/// exact order the paper prescribes for the baseline heuristics.
+/// Increments `probes`.
+[[nodiscard]] bool fits(const Partition& partition, std::size_t task_index,
+                        std::size_t core, std::size_t& probes);
+
+/// Like fits(), but restricted to the Eq. (4) test (ablation A4).
+[[nodiscard]] bool fits_basic_only(const Partition& partition,
+                                   std::size_t task_index, std::size_t core,
+                                   std::size_t& probes);
+
+}  // namespace mcs::partition

@@ -1,0 +1,38 @@
+#include "mcs/partition/registry.hpp"
+
+#include <stdexcept>
+
+namespace mcs::partition {
+
+PartitionerList paper_schemes(double alpha) {
+  PartitionerList out;
+  out.push_back(std::make_unique<ClassicPartitioner>(FitRule::kWorst));
+  out.push_back(std::make_unique<ClassicPartitioner>(FitRule::kFirst));
+  out.push_back(std::make_unique<ClassicPartitioner>(FitRule::kBest));
+  out.push_back(std::make_unique<HybridPartitioner>());
+  out.push_back(
+      std::make_unique<CaTpaPartitioner>(CaTpaOptions{.alpha = alpha}));
+  return out;
+}
+
+std::unique_ptr<Partitioner> make_scheme(const std::string& name,
+                                         double alpha) {
+  if (name == "WFD") {
+    return std::make_unique<ClassicPartitioner>(FitRule::kWorst);
+  }
+  if (name == "FFD") {
+    return std::make_unique<ClassicPartitioner>(FitRule::kFirst);
+  }
+  if (name == "BFD") {
+    return std::make_unique<ClassicPartitioner>(FitRule::kBest);
+  }
+  if (name == "Hybrid") {
+    return std::make_unique<HybridPartitioner>();
+  }
+  if (name == "CA-TPA") {
+    return std::make_unique<CaTpaPartitioner>(CaTpaOptions{.alpha = alpha});
+  }
+  throw std::invalid_argument("make_scheme: unknown scheme '" + name + "'");
+}
+
+}  // namespace mcs::partition

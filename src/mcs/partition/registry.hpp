@@ -1,0 +1,23 @@
+// Convenience factories for the scheme line-ups used across benches/tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mcs/partition/catpa.hpp"
+#include "mcs/partition/classic.hpp"
+#include "mcs/partition/hybrid.hpp"
+
+namespace mcs::partition {
+
+using PartitionerList = std::vector<std::unique_ptr<Partitioner>>;
+
+/// The paper's five-scheme line-up: WFD, FFD, BFD, Hybrid, CA-TPA(alpha).
+[[nodiscard]] PartitionerList paper_schemes(double alpha = 0.7);
+
+/// Builds a single scheme by name ("WFD", "FFD", "BFD", "Hybrid", "CA-TPA").
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<Partitioner> make_scheme(const std::string& name,
+                                                       double alpha = 0.7);
+
+}  // namespace mcs::partition

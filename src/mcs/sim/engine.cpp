@@ -1,0 +1,470 @@
+#include "mcs/sim/engine.hpp"
+
+#include "mcs/gen/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcs::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+struct Job {
+  std::size_t task = 0;       ///< index within the TaskSet
+  std::uint64_t number = 0;   ///< 0-based job index
+  double release = 0.0;
+  double deadline = 0.0;      ///< current absolute (virtual) deadline
+  double remaining = 0.0;
+  double done = 0.0;
+};
+
+/// Simulates one core of a partition from time 0 to the horizon.
+class CoreSim {
+ public:
+  CoreSim(const Partition& partition, std::size_t core,
+          const ExecutionScenario& scenario, const SimConfig& cfg,
+          TraceSink* sink, std::vector<DeadlineMiss>& misses,
+          std::vector<TaskSimStats>& task_stats)
+      : ts_(partition.taskset()),
+        members_(partition.tasks_on(core)),
+        scenario_(scenario),
+        cfg_(cfg),
+        sink_(sink),
+        core_(core),
+        policy_(partition.utils_on(core)),
+        misses_(misses),
+        task_stats_(task_stats) {
+    stats_.mode_residency.assign(policy_.num_levels(), 0.0);
+    next_job_.assign(members_.size(), 0);
+    next_arrival_.assign(members_.size(), 0.0);
+    // Priority ranks for fixed-priority mode (lower rank = higher
+    // priority): an explicit assignment when provided, else deadline
+    // monotonic.
+    if (!cfg_.fp_priorities.empty()) {
+      if (cfg_.fp_priorities.size() != ts_.size()) {
+        throw std::invalid_argument(
+            "simulate: fp_priorities must have one rank per task");
+      }
+      fp_rank_ = cfg_.fp_priorities;
+    } else {
+      fp_rank_.assign(ts_.size(), std::numeric_limits<std::size_t>::max());
+      std::vector<std::size_t> order(members_.begin(), members_.end());
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (ts_[a].period() != ts_[b].period()) {
+          return ts_[a].period() < ts_[b].period();
+        }
+        return a < b;
+      });
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        fp_rank_[order[rank]] = rank;
+      }
+    }
+  }
+
+  CoreStats run(double horizon) {
+    while (t_ < horizon - kEps) {
+      if (flag_expired_deadlines()) {
+        if (cfg_.stop_core_on_miss) break;
+        continue;
+      }
+      if (ready_.empty()) {
+        if (mode_ > 1 && cfg_.idle_reset) idle_reset();
+        const double ta = next_arrival_time();
+        if (ta >= horizon - kEps) break;
+        set_time(ta);
+        process_arrivals();
+        continue;
+      }
+
+      Job& run_job = ready_[select_running()];
+      const Level run_level = ts_[run_job.task].level();
+      const double t_complete = t_ + run_job.remaining;
+      double t_threshold = kInf;
+      if (run_level > mode_) {
+        const double budget = ts_[run_job.task].wcet(mode_);
+        t_threshold = t_ + std::max(0.0, budget - run_job.done);
+      }
+      const double t_release = next_arrival_time();
+      const double t_dl = earliest_deadline();
+      double t_evt = std::min({t_complete, t_threshold, t_release});
+
+      if (t_dl + cfg_.miss_tolerance < t_evt) {
+        // Some ready job's deadline passes before the next event, so it
+        // cannot finish in time (under EDF it is the running job itself;
+        // under fixed priority it may be a preempted lower-priority job).
+        // Advance the running job to the deadline instant and flag the
+        // expiring job.
+        advance(run_job, t_dl);
+        std::size_t expiring = 0;
+        for (std::size_t i = 1; i < ready_.size(); ++i) {
+          if (ready_[i].deadline < ready_[expiring].deadline) expiring = i;
+        }
+        const Job victim = ready_[expiring];
+        record_miss(victim);
+        if (cfg_.stop_core_on_miss) break;
+        erase_job(victim.task, victim.number);
+        continue;
+      }
+      if (t_evt >= horizon - kEps) {
+        advance(run_job, std::min(t_evt, horizon));
+        break;
+      }
+
+      advance(run_job, t_evt);
+      if (run_job.remaining <= kEps && t_complete <= t_threshold + kEps) {
+        complete(run_job);
+        continue;
+      }
+      if (run_level > mode_ &&
+          run_job.done >= ts_[run_job.task].wcet(mode_) - kEps &&
+          run_job.remaining > kEps) {
+        switch_mode();
+        continue;
+      }
+      if (t_evt >= t_release - kEps) {
+        process_arrivals();
+      }
+    }
+    set_time(horizon);
+    return stats_;
+  }
+
+ private:
+  /// Advances the clock, accruing mode-residency time.
+  void set_time(double to) {
+    if (to > t_) {
+      stats_.mode_residency[mode_ - 1] += to - t_;
+      t_ = to;
+    }
+  }
+
+  void advance(Job& job, double to) {
+    const double dt = to - t_;
+    if (dt > 0.0) {
+      if (sink_ != nullptr) {
+        sink_->on_event(TraceEvent{.time = t_,
+                                   .core = core_,
+                                   .kind = EventKind::kExecute,
+                                   .task = job.task,
+                                   .job = job.number,
+                                   .mode = mode_,
+                                   .deadline = job.deadline,
+                                   .until = to});
+      }
+      job.done += dt;
+      job.remaining -= dt;
+      set_time(to);
+      last_ran_task_ = job.task;
+      last_ran_job_ = job.number;
+    }
+  }
+
+  /// Index of the scheduled job: EDF (smallest deadline; ties to the
+  /// smaller task index, then the earlier job) or fixed priority (smallest
+  /// deadline-monotonic rank; FIFO within a task).
+  std::size_t select_running() {
+    const bool fp = cfg_.scheduler == SchedulerKind::kFixedPriority;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready_.size(); ++i) {
+      const Job& a = ready_[i];
+      const Job& b = ready_[best];
+      bool a_wins = false;
+      if (fp) {
+        a_wins = fp_rank_[a.task] < fp_rank_[b.task] ||
+                 (a.task == b.task && a.number < b.number);
+      } else {
+        a_wins =
+            a.deadline < b.deadline ||
+            (a.deadline == b.deadline &&
+             (a.task < b.task || (a.task == b.task && a.number < b.number)));
+      }
+      if (a_wins) best = i;
+    }
+    const Job& chosen = ready_[best];
+    if (last_ran_task_ != kNone &&
+        (chosen.task != last_ran_task_ || chosen.number != last_ran_job_) &&
+        find_job(last_ran_task_, last_ran_job_) != kNone) {
+      ++stats_.preemptions;
+    }
+    return best;
+  }
+
+  [[nodiscard]] double earliest_deadline() const {
+    double dl = kInf;
+    for (const Job& j : ready_) dl = std::min(dl, j.deadline);
+    return dl;
+  }
+
+  [[nodiscard]] double next_arrival_time() const {
+    double ta = kInf;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      ta = std::min(ta, arrival_of(i));
+    }
+    return ta;
+  }
+
+  [[nodiscard]] double arrival_of(std::size_t member) const {
+    return next_arrival_[member];
+  }
+
+  /// Advances a task's arrival pointer past the job just processed; under
+  /// sporadic arrivals a deterministic per-job delay is added on top of the
+  /// minimum inter-arrival time (the period).
+  void schedule_next_arrival(std::size_t member, std::uint64_t job) {
+    const McTask& mt = ts_[members_[member]];
+    double delay = 0.0;
+    if (cfg_.sporadic_jitter > 0.0) {
+      gen::Rng rng(gen::derive_seed(cfg_.arrival_seed,
+                                    mt.id() * 0x100000001ULL + job));
+      delay = rng.uniform(0.0, cfg_.sporadic_jitter * mt.period());
+    }
+    next_arrival_[member] += mt.period() + delay;
+  }
+
+  [[nodiscard]] double deadline_scale(std::size_t task,
+                                      Level task_level) const {
+    if (!cfg_.use_virtual_deadlines ||
+        cfg_.scheduler == SchedulerKind::kFixedPriority) {
+      return 1.0;
+    }
+    if (policy_.num_levels() == 2 && !cfg_.dual_scales.empty()) {
+      // Per-task scales (e.g. from the tuned DBF analysis): HI tasks shrink
+      // in LO mode, full deadlines once switched.
+      if (task_level == 2 && mode_ == 1 && task < cfg_.dual_scales.size()) {
+        const double x = cfg_.dual_scales[task];
+        if (x > 0.0 && x <= 1.0) return x;
+      }
+      return 1.0;
+    }
+    if (cfg_.dual_scale_override > 0.0 && cfg_.dual_scale_override <= 1.0 &&
+        policy_.num_levels() == 2) {
+      // HI tasks shrink in LO mode, full deadlines once switched.
+      return (task_level == 2 && mode_ == 1) ? cfg_.dual_scale_override : 1.0;
+    }
+    return policy_.scale(task_level, mode_);
+  }
+
+  void process_arrivals() {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      while (arrival_of(i) <= t_ + kEps) {
+        const std::size_t task = members_[i];
+        const McTask& mt = ts_[task];
+        const std::uint64_t number = next_job_[i];
+        const double release = arrival_of(i);
+        ++next_job_[i];
+        schedule_next_arrival(i, number);
+        const bool below_mode = mt.level() < mode_;
+        const bool degrade = below_mode && cfg_.degraded_period_stretch > 1.0;
+        if (below_mode && !degrade) {
+          ++stats_.releases_suppressed;
+          ++task_stats_[task].suppressed;
+          emit(EventKind::kReleaseSuppressed, task, number, release);
+          continue;
+        }
+        const double exec = scenario_.execution_time(mt, number);
+        if (!(exec > 0.0) || exec > mt.wcet(mt.level()) + kEps) {
+          throw std::logic_error(
+              "simulate: scenario returned an execution time outside "
+              "(0, c_i(l_i)]");
+        }
+        Job job;
+        job.task = task;
+        job.number = number;
+        job.release = release;
+        if (degrade) {
+          // Degraded service: stretched deadline now, and the *next*
+          // arrival pushed out by the same factor (minimum inter-arrival
+          // grows while the mode is elevated).
+          job.deadline =
+              release + cfg_.degraded_period_stretch * mt.period();
+          next_arrival_[i] +=
+              (cfg_.degraded_period_stretch - 1.0) * mt.period();
+          ++stats_.jobs_degraded;
+          ++task_stats_[task].degraded;
+        } else {
+          job.deadline =
+              release + deadline_scale(task, mt.level()) * mt.period();
+        }
+        job.remaining = exec;
+        ready_.push_back(job);
+        ++stats_.jobs_released;
+        ++task_stats_[task].released;
+        emit(EventKind::kRelease, task, number, job.deadline);
+      }
+    }
+  }
+
+  void complete(const Job& job) {
+    ++stats_.jobs_completed;
+    TaskSimStats& tstats = task_stats_[job.task];
+    ++tstats.completed;
+    const double response = t_ - job.release;
+    tstats.sum_response += response;
+    tstats.max_response = std::max(tstats.max_response, response);
+    if (t_ > job.deadline + cfg_.miss_tolerance) {
+      record_miss(job);
+    }
+    emit(EventKind::kComplete, job.task, job.number, job.deadline);
+    erase_job(job.task, job.number);
+  }
+
+  /// Flags ready jobs whose deadline already passed (can only happen within
+  /// the miss tolerance window or after a non-stopping miss).  Returns true
+  /// when a miss was recorded.
+  bool flag_expired_deadlines() {
+    for (const Job& j : ready_) {
+      if (t_ > j.deadline + cfg_.miss_tolerance) {
+        record_miss(j);
+        erase_job(j.task, j.number);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void switch_mode() {
+    bool again = true;
+    while (again && mode_ < policy_.num_levels()) {
+      const Level old_mode = mode_;
+      ++mode_;
+      ++stats_.mode_switches;
+      stats_.max_mode = std::max(stats_.max_mode, mode_);
+      emit(EventKind::kModeSwitch, kNone, 0, 0.0);
+      // Drop jobs at or below the exhausted mode.
+      for (std::size_t i = ready_.size(); i-- > 0;) {
+        if (ts_[ready_[i].task].level() <= old_mode) {
+          ++stats_.jobs_dropped;
+          ++task_stats_[ready_[i].task].dropped;
+          emit(EventKind::kJobDropped, ready_[i].task, ready_[i].number,
+               ready_[i].deadline);
+          ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      // Re-derive deadlines for the survivors under the new mode.
+      for (Job& j : ready_) {
+        j.deadline = j.release + deadline_scale(j.task, ts_[j.task].level()) *
+                                     ts_[j.task].period();
+      }
+      // Cascade when a surviving job is already at the next budget (equal
+      // consecutive WCETs).
+      again = false;
+      for (const Job& j : ready_) {
+        const McTask& mt = ts_[j.task];
+        if (mt.level() > mode_ && j.remaining > kEps &&
+            j.done >= mt.wcet(mode_) - kEps) {
+          again = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void idle_reset() {
+    mode_ = 1;
+    ++stats_.idle_resets;
+    emit(EventKind::kIdleReset, kNone, 0, 0.0);
+  }
+
+  void record_miss(const Job& job) {
+    ++task_stats_[job.task].missed;
+    misses_.push_back(DeadlineMiss{.core = core_,
+                                   .task = job.task,
+                                   .job = job.number,
+                                   .deadline = job.deadline,
+                                   .detected_at = t_,
+                                   .mode = mode_});
+    emit(EventKind::kDeadlineMiss, job.task, job.number, job.deadline);
+  }
+
+  [[nodiscard]] std::size_t find_job(std::size_t task,
+                                     std::uint64_t number) const {
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      if (ready_[i].task == task && ready_[i].number == number) return i;
+    }
+    return kNone;
+  }
+
+  void erase_job(std::size_t task, std::uint64_t number) {
+    const std::size_t i = find_job(task, number);
+    if (i != kNone) {
+      ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  void emit(EventKind kind, std::size_t task, std::uint64_t job,
+            double deadline) {
+    if (sink_ == nullptr) return;
+    sink_->on_event(TraceEvent{.time = t_,
+                               .core = core_,
+                               .kind = kind,
+                               .task = task,
+                               .job = job,
+                               .mode = mode_,
+                               .deadline = deadline});
+  }
+
+  const TaskSet& ts_;
+  const std::vector<std::size_t>& members_;
+  const ExecutionScenario& scenario_;
+  const SimConfig& cfg_;
+  TraceSink* sink_;
+  std::size_t core_;
+  analysis::DeadlinePolicy policy_;
+  std::vector<DeadlineMiss>& misses_;
+  std::vector<TaskSimStats>& task_stats_;
+
+  Level mode_ = 1;
+  double t_ = 0.0;
+  std::vector<Job> ready_;
+  std::vector<std::uint64_t> next_job_;
+  std::vector<double> next_arrival_;
+  std::vector<std::size_t> fp_rank_;
+  CoreStats stats_;
+  std::size_t last_ran_task_ = kNone;
+  std::uint64_t last_ran_job_ = 0;
+};
+
+double default_horizon(const TaskSet& ts) {
+  double max_p = 0.0;
+  for (const McTask& t : ts) max_p = std::max(max_p, t.period());
+  return 20.0 * max_p;
+}
+
+}  // namespace
+
+SimResult simulate_core(const Partition& partition, std::size_t core,
+                        const ExecutionScenario& scenario,
+                        const SimConfig& config, TraceSink* sink) {
+  SimResult result;
+  result.horizon = config.horizon > 0.0 ? config.horizon
+                                        : default_horizon(partition.taskset());
+  result.tasks.assign(partition.taskset().size(), TaskSimStats{});
+  CoreSim sim(partition, core, scenario, config, sink, result.misses,
+              result.tasks);
+  result.cores.push_back(sim.run(result.horizon));
+  return result;
+}
+
+SimResult simulate(const Partition& partition,
+                   const ExecutionScenario& scenario, const SimConfig& config,
+                   TraceSink* sink) {
+  SimResult result;
+  result.horizon = config.horizon > 0.0 ? config.horizon
+                                        : default_horizon(partition.taskset());
+  result.tasks.assign(partition.taskset().size(), TaskSimStats{});
+  result.cores.reserve(partition.num_cores());
+  for (std::size_t core = 0; core < partition.num_cores(); ++core) {
+    CoreSim sim(partition, core, scenario, config, sink, result.misses,
+                result.tasks);
+    result.cores.push_back(sim.run(result.horizon));
+  }
+  return result;
+}
+
+}  // namespace mcs::sim

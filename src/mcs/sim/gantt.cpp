@@ -1,0 +1,136 @@
+#include "mcs/sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace mcs::sim {
+
+namespace {
+
+/// Priority of a marker character: higher wins when several events fall
+/// into the same column.
+int marker_rank(char c) {
+  switch (c) {
+    case '!':
+      return 6;
+    case 'X':
+      return 5;
+    case 'x':
+      return 4;
+    case 'r':
+      return 3;
+    case '*':
+      return 2;
+    case '#':
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+void put(std::string& row, std::size_t col, char c) {
+  if (col >= row.size()) return;
+  if (marker_rank(c) > marker_rank(row[col])) row[col] = c;
+}
+
+}  // namespace
+
+std::string render_gantt(const RecordingTraceSink& trace, const TaskSet& ts,
+                         const GanttOptions& options) {
+  const auto& events = trace.events();
+  double t_end = options.t_end;
+  if (t_end <= options.t_begin) {
+    for (const TraceEvent& e : events) {
+      t_end = std::max({t_end, e.time, e.until});
+    }
+  }
+  const double span = t_end - options.t_begin;
+  std::ostringstream out;
+  out << "t = [" << options.t_begin << ", " << t_end << ")  ('#' exec, 'r' "
+      << "release, 'x' suppressed, 'X' dropped, '!' miss, '*' done)\n";
+  if (span <= 0.0 || options.width == 0) return out.str();
+
+  const double per_col = span / static_cast<double>(options.width);
+  const auto col_of = [&](double t) {
+    const double c = (t - options.t_begin) / per_col;
+    return static_cast<std::size_t>(std::clamp(
+        c, 0.0, static_cast<double>(options.width) - 1.0));
+  };
+
+  // Task rows, created lazily in task-index order.
+  std::map<std::size_t, std::string> rows;
+  std::map<std::size_t, std::string> mode_strips;  // per core
+  const auto row_for = [&](std::size_t task) -> std::string& {
+    auto [it, inserted] = rows.try_emplace(task);
+    if (inserted) it->second.assign(options.width, ' ');
+    return it->second;
+  };
+  const auto strip_for = [&](std::size_t core) -> std::string& {
+    auto [it, inserted] = mode_strips.try_emplace(core);
+    if (inserted) it->second.assign(options.width, '1');
+    return it->second;
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.time >= t_end) continue;
+    switch (e.kind) {
+      case EventKind::kExecute: {
+        std::string& row = row_for(e.task);
+        const std::size_t last =
+            col_of(std::max(e.time, std::min(e.until, t_end) - 1e-12));
+        for (std::size_t c = col_of(e.time); c <= last; ++c) put(row, c, '#');
+        break;
+      }
+      case EventKind::kRelease:
+        put(row_for(e.task), col_of(e.time), 'r');
+        break;
+      case EventKind::kReleaseSuppressed:
+        put(row_for(e.task), col_of(e.time), 'x');
+        break;
+      case EventKind::kComplete:
+        put(row_for(e.task), col_of(e.time), '*');
+        break;
+      case EventKind::kJobDropped:
+        put(row_for(e.task), col_of(e.time), 'X');
+        break;
+      case EventKind::kDeadlineMiss:
+        put(row_for(e.task), col_of(e.time), '!');
+        break;
+      case EventKind::kModeSwitch:
+      case EventKind::kIdleReset: {
+        if (!options.show_mode_strip) break;
+        std::string& strip = strip_for(e.core);
+        const char digit =
+            static_cast<char>('0' + std::min<Level>(e.mode, 9));
+        for (std::size_t c = col_of(e.time); c < options.width; ++c) {
+          strip[c] = digit;
+        }
+        break;
+      }
+    }
+  }
+
+  std::size_t label_width = 6;
+  for (const auto& [task, _] : rows) {
+    label_width = std::max(label_width,
+                           4 + std::to_string(ts[task].id()).size() + 1);
+  }
+  const auto emit_row = [&](const std::string& label, const std::string& row) {
+    out << label << std::string(label_width - label.size(), ' ') << '|' << row
+        << "|\n";
+  };
+  for (const auto& [task, row] : rows) {
+    emit_row("tau_" + std::to_string(ts[task].id()), row);
+  }
+  if (options.show_mode_strip) {
+    for (const auto& [core, strip] : mode_strips) {
+      emit_row("core" + std::to_string(core), strip);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mcs::sim

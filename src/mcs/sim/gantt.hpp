@@ -1,0 +1,37 @@
+// ASCII Gantt rendering of recorded engine traces.
+//
+// One row per task plus a mode strip per core:
+//
+//   t = [0, 40)                        one column ~ 0.5 time units
+//   tau_0 |##r####..#########X   r###|
+//   tau_1 |r###       r!          r##|
+//   core0 |111122222222222111111111111|
+//
+//   '#' executing   'r' release   'x' release suppressed   'X' job dropped
+//   '!' deadline miss   '*' completion   digits: core mode over time
+//
+// Built entirely from TraceEvents (kExecute segments supply the busy
+// intervals), so it works for both the partitioned and the global engine.
+#pragma once
+
+#include <string>
+
+#include "mcs/core/taskset.hpp"
+#include "mcs/sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct GanttOptions {
+  double t_begin = 0.0;
+  double t_end = 0.0;        ///< 0 selects the last event time
+  std::size_t width = 100;   ///< columns of the timeline
+  bool show_mode_strip = true;
+};
+
+/// Renders the recorded trace as an ASCII chart.  Tasks are labelled by
+/// their McTask::id(); only tasks with at least one event appear.
+[[nodiscard]] std::string render_gantt(const RecordingTraceSink& trace,
+                                       const TaskSet& ts,
+                                       const GanttOptions& options = {});
+
+}  // namespace mcs::sim

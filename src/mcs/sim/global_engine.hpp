@@ -1,0 +1,32 @@
+// Global EDF(-VD) / AMC runtime engine.
+//
+// The global counterpart of the partitioned engine: all m cores share one
+// ready queue; at every instant the m earliest-(virtual-)deadline jobs run
+// (jobs migrate freely and never execute on two cores at once).  The AMC
+// mode is system-wide: a job exceeding its level budget escalates the whole
+// system, dropping every lower-criticality job; the system resets to mode 1
+// when fully idle.  Virtual deadlines follow the same DeadlinePolicy as the
+// partitioned engine, computed over the whole task set (for K = 2 this is
+// the classical uniform scaling; see analysis/global.hpp for why no global
+// MC *acceptance* test is shipped).
+//
+// Fixed-priority mode (SimConfig::scheduler) yields global deadline-
+// monotonic scheduling.
+#pragma once
+
+#include "mcs/core/taskset.hpp"
+#include "mcs/sim/engine.hpp"
+
+namespace mcs::sim {
+
+/// Simulates the whole task set under global scheduling on `num_cores`
+/// cores.  The SimResult carries one aggregate CoreStats entry (index 0)
+/// for the whole system plus the usual per-task statistics and misses
+/// (DeadlineMiss::core is always 0).
+[[nodiscard]] SimResult simulate_global(const TaskSet& ts,
+                                        std::size_t num_cores,
+                                        const ExecutionScenario& scenario,
+                                        const SimConfig& config = {},
+                                        TraceSink* sink = nullptr);
+
+}  // namespace mcs::sim

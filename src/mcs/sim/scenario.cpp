@@ -1,0 +1,46 @@
+#include "mcs/sim/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::sim {
+
+FixedLevelScenario::FixedLevelScenario(Level level, double fraction)
+    : level_(level), fraction_(fraction) {
+  if (level_ < 1) {
+    throw std::invalid_argument("FixedLevelScenario: level must be >= 1");
+  }
+  if (!(fraction_ > 0.0) || fraction_ > 1.0) {
+    throw std::invalid_argument(
+        "FixedLevelScenario: fraction must be in (0, 1]");
+  }
+}
+
+double FixedLevelScenario::execution_time(const McTask& task,
+                                          std::uint64_t /*job*/) const {
+  const Level level = std::min(level_, task.level());
+  return fraction_ * task.wcet(level);
+}
+
+RandomScenario::RandomScenario(std::uint64_t seed, double escalation_prob)
+    : seed_(seed), escalation_prob_(escalation_prob) {
+  if (escalation_prob_ < 0.0 || escalation_prob_ > 1.0) {
+    throw std::invalid_argument(
+        "RandomScenario: escalation probability must be in [0, 1]");
+  }
+}
+
+double RandomScenario::execution_time(const McTask& task,
+                                      std::uint64_t job) const {
+  gen::Rng rng(
+      gen::derive_seed(seed_, task.id() * 0x100000001ULL + job));
+  Level b = 1;
+  while (b < task.level() && rng.bernoulli(escalation_prob_)) ++b;
+  const double lo = (b == 1) ? 0.0 : task.wcet(b - 1);
+  const double hi = task.wcet(b);
+  // Uniform over (lo, hi]: 1 - U[0,1) lies in (0, 1].
+  const double u = 1.0 - rng.uniform(0.0, 1.0);
+  return lo + u * (hi - lo);
+}
+
+}  // namespace mcs::sim

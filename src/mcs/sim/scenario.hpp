@@ -1,0 +1,59 @@
+// Execution scenarios: how long each job actually runs.
+//
+// The AMC runtime's behaviour depends on actual execution times, not just
+// WCETs.  A scenario maps (task, job index) to an actual execution time and
+// must be a pure function of its inputs so the engine can query it in any
+// order (all randomized scenarios hash (seed, task id, job) into a private
+// stream).
+#pragma once
+
+#include <cstdint>
+
+#include "mcs/core/task.hpp"
+#include "mcs/gen/rng.hpp"
+
+namespace mcs::sim {
+
+class ExecutionScenario {
+ public:
+  virtual ~ExecutionScenario() = default;
+
+  /// Actual execution demand of job `job` (0-based) of `task`.  Must lie in
+  /// (0, c_i(l_i)] — a job can never exceed its own-level WCET.
+  [[nodiscard]] virtual double execution_time(const McTask& task,
+                                              std::uint64_t job) const = 0;
+};
+
+/// Every job runs for `fraction` of its level-`level` WCET (level is clamped
+/// to the task's own level).  fraction = 1, level = 1 reproduces exact
+/// level-1 behaviour (no mode switches); level = K drives every job to its
+/// highest budget.
+class FixedLevelScenario final : public ExecutionScenario {
+ public:
+  FixedLevelScenario(Level level, double fraction = 1.0);
+
+  [[nodiscard]] double execution_time(const McTask& task,
+                                      std::uint64_t job) const override;
+
+ private:
+  Level level_;
+  double fraction_;
+};
+
+/// Per-job random behaviour: each job escalates its behaviour level b from 1
+/// upward, continuing with probability `escalation_prob` while b < l_i, then
+/// draws its execution time uniformly from (c(b-1), c(b)] (with c(0) = 0).
+/// escalation_prob = 0 keeps every job within its level-1 budget.
+class RandomScenario final : public ExecutionScenario {
+ public:
+  RandomScenario(std::uint64_t seed, double escalation_prob);
+
+  [[nodiscard]] double execution_time(const McTask& task,
+                                      std::uint64_t job) const override;
+
+ private:
+  std::uint64_t seed_;
+  double escalation_prob_;
+};
+
+}  // namespace mcs::sim

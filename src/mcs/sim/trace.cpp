@@ -1,0 +1,47 @@
+#include "mcs/sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace mcs::sim {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRelease:
+      return "release";
+    case EventKind::kReleaseSuppressed:
+      return "release-suppressed";
+    case EventKind::kComplete:
+      return "complete";
+    case EventKind::kModeSwitch:
+      return "MODE-SWITCH";
+    case EventKind::kJobDropped:
+      return "job-dropped";
+    case EventKind::kDeadlineMiss:
+      return "DEADLINE-MISS";
+    case EventKind::kIdleReset:
+      return "idle-reset";
+    case EventKind::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+void StreamTraceSink::on_event(const TraceEvent& event) {
+  if (event.kind == EventKind::kExecute) return;  // too chatty for a log
+  std::ostream& os = *os_;
+  os << "[t=" << std::fixed << std::setprecision(3) << std::setw(10)
+     << event.time << "] core " << event.core << " mode " << event.mode << "  "
+     << to_string(event.kind);
+  if (event.kind != EventKind::kModeSwitch &&
+      event.kind != EventKind::kIdleReset) {
+    os << "  task " << event.task << " job " << event.job;
+    if (event.kind == EventKind::kRelease ||
+        event.kind == EventKind::kDeadlineMiss) {
+      os << " (deadline " << event.deadline << ")";
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace mcs::sim

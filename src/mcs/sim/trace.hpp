@@ -1,0 +1,66 @@
+// Optional event tracing for the runtime engine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mcs/core/task.hpp"
+
+namespace mcs::sim {
+
+enum class EventKind {
+  kRelease,
+  kReleaseSuppressed,
+  kComplete,
+  kModeSwitch,
+  kJobDropped,
+  kDeadlineMiss,
+  kIdleReset,
+  kExecute,  ///< a job executed over [time, until) (emitted by the engines)
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+struct TraceEvent {
+  double time = 0.0;
+  std::size_t core = 0;
+  EventKind kind = EventKind::kRelease;
+  std::size_t task = 0;       ///< task index (kUnassigned-like npos for core-level events)
+  std::uint64_t job = 0;
+  Level mode = 1;             ///< core mode after the event
+  double deadline = 0.0;      ///< absolute deadline where applicable
+  double until = 0.0;         ///< end of the interval (kExecute only)
+};
+
+/// Receives engine events; implementations must tolerate high event rates.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Buffers every event in memory (tests, small demos).
+class RecordingTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Pretty-prints events as they happen (the runtime_trace example).
+class StreamTraceSink final : public TraceSink {
+ public:
+  explicit StreamTraceSink(std::ostream& os) : os_(&os) {}
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,52 @@
+#include "mcs/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace mcs::util {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  }
+  emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  emit(cells);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: write failed on '" + path_ + "'");
+  }
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace mcs::util

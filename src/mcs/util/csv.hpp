@@ -1,0 +1,33 @@
+// Minimal CSV emission for experiment results.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcs::util {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines).  Throws std::runtime_error on I/O failure.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace mcs::util

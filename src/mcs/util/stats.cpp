@@ -1,0 +1,2 @@
+// stats.hpp is header-only; this translation unit only anchors the target.
+#include "mcs/util/stats.hpp"

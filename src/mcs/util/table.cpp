@@ -1,0 +1,59 @@
+#include "mcs/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace mcs::util {
+
+std::string format_double(double value, int precision) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (std::isnan(value)) return "nan";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add_cell(std::string text) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(text));
+}
+
+void Table::add_cell(double value, int precision) {
+  add_cell(format_double(value, precision));
+}
+
+void Table::add_cell(std::size_t value) { add_cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << text << std::string(width[c] - text.size(), ' ');
+      if (c + 1 < header_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c];
+  rule += 2 * (width.empty() ? 0 : width.size() - 1);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,36 @@
+// Aligned plain-text tables for bench/example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs::util {
+
+/// A simple column-aligned table.  Cells are strings; numeric helpers format
+/// with fixed precision.  Rendered with two-space gutters and a rule under
+/// the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  void begin_row();
+  void add_cell(std::string text);
+  void add_cell(double value, int precision = 4);
+  void add_cell(std::size_t value);
+
+  /// Renders to the stream; rows shorter than the header are padded.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and CSV output).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace mcs::util

@@ -1,0 +1,129 @@
+#include "mcs/analysis/core_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcs::analysis {
+namespace {
+
+UtilMatrix matrix_from(const std::vector<McTask>& tasks, Level levels) {
+  UtilMatrix u(levels);
+  for (const McTask& t : tasks) u.add(t);
+  return u;
+}
+
+TEST(CoreUtilizationTest, EmptyCoreHasZeroUtilization) {
+  EXPECT_DOUBLE_EQ(core_utilization(UtilMatrix(2)), 0.0);
+  EXPECT_DOUBLE_EQ(core_utilization(UtilMatrix(6)), 0.0);
+}
+
+TEST(CoreUtilizationTest, PaperWorkedExampleSingleHighTask) {
+  // Paper Sec. III-C example: one HI task with u(1)=0.339, u(2)=0.633 on an
+  // empty core gives U = 0 + min{0.633, 0.339/(1-0.633)} = 0.633.
+  const UtilMatrix u =
+      matrix_from({McTask(0, {339.0, 633.0}, 1000.0)}, 2);
+  EXPECT_NEAR(core_utilization(u), 0.633, 1e-12);
+}
+
+TEST(CoreUtilizationTest, SecondOperandCase) {
+  // U_1(1)=0.4, U_2(1)=0.15, U_2(2)=0.7: U = 0.4 + 0.15/0.3 = 0.9.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {4.0}, 10.0), McTask(1, {1.5, 7.0}, 10.0)}, 2);
+  EXPECT_NEAR(core_utilization(u), 0.9, 1e-12);
+}
+
+TEST(CoreUtilizationTest, InfeasibleIsInfinite) {
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {5.0}, 10.0), McTask(1, {4.0, 8.0}, 10.0)}, 2);
+  EXPECT_TRUE(std::isinf(core_utilization(u)));
+}
+
+TEST(CoreUtilizationTest, SingleLevelUsesPlainUtilization) {
+  const UtilMatrix u = matrix_from({McTask(0, {3.0}, 10.0)}, 1);
+  EXPECT_DOUBLE_EQ(core_utilization(u), 0.3);
+  const UtilMatrix over = matrix_from(
+      {McTask(0, {8.0}, 10.0), McTask(1, {5.0}, 10.0)}, 1);
+  EXPECT_TRUE(std::isinf(core_utilization(over)));
+}
+
+TEST(CoreUtilizationTest, FirstFeasiblePolicyUsesSmallestConditionIndex) {
+  // Hand-computed three-level example: best_k = 1, so the first-feasible
+  // utilization is 1 - A(1) = theta(1).
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {2.0}, 10.0), McTask(1, {1.0, 3.0}, 10.0),
+       McTask(2, {1.0, 2.0, 4.0}, 10.0)},
+      3);
+  EXPECT_NEAR(core_utilization(u, ProbePolicy::kFirstFeasible),
+              0.5 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(CoreUtilizationTest, MinFoldIgnoresTasksDroppedByHigherConditions) {
+  // A core carrying only level-1 tasks in a K=3 system: condition k=2 drops
+  // them all, so its available capacity is full and the min fold reports 0.
+  // This is Eq. (8)/(9) taken literally -- and it is what makes CA-TPA
+  // prefer stacking low-criticality work (see EXPERIMENTS.md); the
+  // first-feasible policy reports the intuitive 0.3 instead.
+  const UtilMatrix u = matrix_from({McTask(0, {3.0}, 10.0)}, 3);
+  EXPECT_DOUBLE_EQ(core_utilization(u, ProbePolicy::kMinOverFeasible), 0.0);
+  EXPECT_NEAR(core_utilization(u, ProbePolicy::kFirstFeasible), 0.3, 1e-12);
+  EXPECT_NEAR(core_utilization(u, ProbePolicy::kMaxOverFeasible), 0.3, 1e-12);
+}
+
+TEST(CoreUtilizationTest, PolicyMaxVersusMin) {
+  // Hand-computed three-level example (see edfvd_test):
+  // 1 - A(1) = 0.8333..., 1 - A(2) = 0.8833...
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {2.0}, 10.0), McTask(1, {1.0, 3.0}, 10.0),
+       McTask(2, {1.0, 2.0, 4.0}, 10.0)},
+      3);
+  EXPECT_NEAR(core_utilization(u, ProbePolicy::kMaxOverFeasible),
+              1.0 - (0.75 - (0.3 + 1.0 / 3.0)), 1e-12);
+  EXPECT_NEAR(core_utilization(u, ProbePolicy::kMinOverFeasible),
+              0.5 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(ProbeTest, IncrementMatchesDefinition) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{3.39, 6.33}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{2.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 2);
+  p.assign(0, 0);
+  const double u0 = core_utilization(p.utils_on(0));
+  const ProbeResult probe = probe_assignment(p, 1, 0, u0);
+  ASSERT_TRUE(probe.feasible);
+  // New core: U_1(1)=0.2, min{0.633, 0.339/0.367} = 0.633 -> 0.833.
+  EXPECT_NEAR(probe.new_util, 0.833, 1e-12);
+  EXPECT_NEAR(probe.increment, 0.833 - 0.633, 1e-12);
+}
+
+TEST(ProbeTest, InfeasibleProbeReportsInfinity) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{4.0, 8.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{5.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  const double u0 = core_utilization(p.utils_on(0));
+  const ProbeResult probe = probe_assignment(p, 1, 0, u0);
+  EXPECT_FALSE(probe.feasible);
+  EXPECT_TRUE(std::isinf(probe.new_util));
+  EXPECT_TRUE(std::isinf(probe.increment));
+}
+
+TEST(ProbeTest, ProbeDoesNotMutatePartition) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{1.0, 2.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{1.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  const UtilMatrix before = p.utils_on(0);
+  (void)probe_assignment(p, 1, 0, core_utilization(before));
+  EXPECT_EQ(p.utils_on(0), before);
+  EXPECT_EQ(p.core_of(1), kUnassigned);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

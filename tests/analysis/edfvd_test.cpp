@@ -1,0 +1,216 @@
+#include "mcs/analysis/edfvd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+UtilMatrix matrix_from(const std::vector<McTask>& tasks, Level levels) {
+  UtilMatrix u(levels);
+  for (const McTask& t : tasks) u.add(t);
+  return u;
+}
+
+TEST(BasicTest, AcceptsWhenOwnLevelSumWithinOne) {
+  // U_1(1) = 0.4, U_2(2) = 0.5 -> 0.9 <= 1.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {4.0}, 10.0), McTask(1, {1.0, 5.0}, 10.0)}, 2);
+  EXPECT_TRUE(basic_test(u));
+}
+
+TEST(BasicTest, RejectsWhenOwnLevelSumExceedsOne) {
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {6.0}, 10.0), McTask(1, {1.0, 5.0}, 10.0)}, 2);
+  EXPECT_FALSE(basic_test(u));
+}
+
+TEST(BasicTest, SingleLevelIsPlainEdf) {
+  EXPECT_TRUE(basic_test(matrix_from({McTask(0, {10.0}, 10.0)}, 1)));
+  EXPECT_FALSE(basic_test(
+      matrix_from({McTask(0, {6.0}, 10.0), McTask(1, {5.0}, 10.0)}, 1)));
+}
+
+TEST(DualTest, FirstOperandCase) {
+  // U_1(1) = 0.3, U_2(1) = 0.3, U_2(2) = 0.5:
+  // min{0.5, 0.3/0.5 = 0.6} = 0.5; 0.3 + 0.5 <= 1 -> schedulable.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {3.0}, 10.0), McTask(1, {3.0, 5.0}, 10.0)}, 2);
+  EXPECT_TRUE(dual_test(u));
+}
+
+TEST(DualTest, SecondOperandRescuesHighUkk) {
+  // U_1(1) = 0.4, U_2(1) = 0.15, U_2(2) = 0.7:
+  // Eq. (4): 0.4 + 0.7 = 1.1 > 1 fails, but
+  // min{0.7, 0.15/0.3 = 0.5} = 0.5 and 0.4 + 0.5 <= 1 -> schedulable.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {4.0}, 10.0), McTask(1, {1.5, 7.0}, 10.0)}, 2);
+  EXPECT_FALSE(basic_test(u));
+  EXPECT_TRUE(dual_test(u));
+}
+
+TEST(DualTest, Rejects) {
+  // U_1(1) = 0.5, U_2(1) = 0.4, U_2(2) = 0.8:
+  // min{0.8, 0.4/0.2 = 2.0} = 0.8; 1.3 > 1.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {5.0}, 10.0), McTask(1, {4.0, 8.0}, 10.0)}, 2);
+  EXPECT_FALSE(dual_test(u));
+}
+
+TEST(DualTest, UkkAtOneIsHandled) {
+  // U_2(2) = 1.0 exactly, alone on the core: min{1.0, +inf} = 1.0 <= 1.
+  const UtilMatrix u = matrix_from({McTask(0, {2.0, 10.0}, 10.0)}, 2);
+  EXPECT_TRUE(dual_test(u));
+  EXPECT_TRUE(improved_test(u).schedulable);
+}
+
+TEST(DualTest, RequiresTwoLevels) {
+  const UtilMatrix u(3);
+  EXPECT_THROW((void)dual_test(u), std::invalid_argument);
+}
+
+TEST(DualScalingFactor, MatchesClassicFormula) {
+  // x = U_2(1) / (1 - U_1(1)) = 0.2 / 0.8.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {2.0}, 10.0), McTask(1, {2.0, 6.0}, 10.0)}, 2);
+  EXPECT_NEAR(dual_scaling_factor(u), 0.25, 1e-12);
+}
+
+TEST(DualScalingFactor, NoHighTasksGivesOne) {
+  const UtilMatrix u = matrix_from({McTask(0, {2.0}, 10.0)}, 2);
+  EXPECT_DOUBLE_EQ(dual_scaling_factor(u), 1.0);
+}
+
+TEST(ImprovedTest, SingleLevelDegeneratesToEdf) {
+  const Theorem1Result ok =
+      improved_test(matrix_from({McTask(0, {5.0}, 10.0)}, 1));
+  EXPECT_TRUE(ok.schedulable);
+  EXPECT_EQ(ok.best_k, 1u);
+  const Theorem1Result bad = improved_test(matrix_from(
+      {McTask(0, {6.0}, 10.0), McTask(1, {5.0}, 10.0)}, 1));
+  EXPECT_FALSE(bad.schedulable);
+}
+
+TEST(ImprovedTest, Lambda2MatchesClassicDualFactor) {
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {2.0}, 10.0),        // L1: u(1)=0.2
+       McTask(1, {1.0, 3.0}, 10.0),   // L2
+       McTask(2, {1.0, 2.0, 4.0}, 10.0)},  // L3
+      3);
+  const Theorem1Result r = improved_test(u);
+  // lambda_2 = (U_2(1) + U_3(1)) / (1 - U_1(1)) = 0.2 / 0.8.
+  ASSERT_GE(r.lambda_valid_count, 2u);
+  EXPECT_NEAR(r.lambda[1], 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(r.lambda[0], 0.0);
+}
+
+TEST(ImprovedTest, HandComputedThreeLevelExample) {
+  // L1: u(1)=0.2; L2: u(1)=0.1, u(2)=0.3; L3: u=(0.1, 0.2, 0.4).
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {2.0}, 10.0), McTask(1, {1.0, 3.0}, 10.0),
+       McTask(2, {1.0, 2.0, 4.0}, 10.0)},
+      3);
+  const Theorem1Result r = improved_test(u);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_EQ(r.best_k, 1u);
+  // min term = min{0.4, 0.2/0.6} = 1/3; theta(1) = 0.2+0.3+1/3,
+  // theta(2) = 0.3+1/3; mu(1) = 1, mu(2) = 0.75.
+  EXPECT_NEAR(r.theta[0], 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.theta[1], 0.3 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.mu[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.mu[1], 0.75, 1e-12);
+  EXPECT_NEAR(r.avail[0], 1.0 - (0.5 + 1.0 / 3.0), 1e-12);
+  EXPECT_NEAR(r.avail[1], 0.75 - (0.3 + 1.0 / 3.0), 1e-12);
+  EXPECT_FALSE(r.min_picked_full_budget);
+}
+
+TEST(ImprovedTest, ConditionTwoCanRescueConditionOne) {
+  // L1: u(1)=0.65; L2: u=(0.1, 0.2); L3: u=(0.1, 0.15, 0.3).
+  // theta(1) = 0.65+0.2+min{0.3, 0.15/0.7} = 1.0643 > 1 = mu(1);
+  // lambda_2 = 0.2/0.35, mu(2) = 0.4286 >= theta(2) = 0.4143.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {65.0}, 100.0), McTask(1, {10.0, 20.0}, 100.0),
+       McTask(2, {10.0, 15.0, 30.0}, 100.0)},
+      3);
+  const Theorem1Result r = improved_test(u);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_EQ(r.best_k, 2u);
+  EXPECT_LT(r.avail[0], 0.0);
+  EXPECT_GT(r.avail[1], 0.0);
+}
+
+TEST(ImprovedTest, UkkAboveOneIsInfeasible) {
+  // A lone level-2 task cannot have u(2) > 1 by construction (WCET <= p),
+  // but two level-2 tasks can sum past 1.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {1.0, 8.0}, 10.0), McTask(1, {1.0, 7.0}, 10.0)}, 2);
+  const Theorem1Result r = improved_test(u);
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(ImprovedTest, InvalidLambdaDenominatorStopsConditions) {
+  // U_1(1) = 1.0 makes lambda_2's denominator 1 - 1 = 0: only condition 1
+  // usable, and theta(1) > 1 so infeasible.
+  const UtilMatrix u = matrix_from(
+      {McTask(0, {10.0}, 10.0), McTask(1, {1.0, 2.0, 3.0}, 10.0)}, 3);
+  const Theorem1Result r = improved_test(u);
+  EXPECT_EQ(r.lambda_valid_count, 1u);
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(ImprovedTest, EmptyCoreIsSchedulableWithZeroDemand) {
+  const UtilMatrix u(4);
+  const Theorem1Result r = improved_test(u);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.best_k, 1u);
+  EXPECT_NEAR(r.theta[0], 0.0, 1e-12);
+  EXPECT_NEAR(r.mu[0], 1.0, 1e-12);
+}
+
+// Property sweep: on random dual-criticality subsets, improved_test must
+// agree with the Eq. (7) specialization, and Eq. (4) must imply Theorem 1.
+class EdfvdPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfvdPropertyTest, DualEquivalenceAndBasicImplication) {
+  gen::GenParams params;
+  params.num_cores = 1;
+  params.num_levels = 2;
+  params.nsu = 0.5;
+  params.num_tasks = 6;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam(), trial);
+    const UtilMatrix& u = ts.utils();
+    const Theorem1Result r = improved_test(u);
+    EXPECT_EQ(r.schedulable, dual_test(u)) << "trial " << trial;
+    if (basic_test(u)) {
+      EXPECT_TRUE(r.schedulable) << "Eq.(4) held but Theorem 1 failed, trial "
+                                 << trial;
+    }
+  }
+}
+
+TEST_P(EdfvdPropertyTest, BasicImpliesImprovedAtAnyK) {
+  for (Level K = 2; K <= 6; ++K) {
+    gen::GenParams params;
+    params.num_cores = 1;
+    params.num_levels = K;
+    params.nsu = 0.45;
+    params.num_tasks = 8;
+    params.ifc = 0.5;
+    for (std::uint64_t trial = 0; trial < 25; ++trial) {
+      const TaskSet ts =
+          gen::generate_trial(params, GetParam() ^ K, trial);
+      if (basic_test(ts.utils())) {
+        EXPECT_TRUE(improved_test(ts.utils()).schedulable)
+            << "K=" << K << " trial " << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfvdPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace mcs::analysis

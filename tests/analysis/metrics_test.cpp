@@ -1,0 +1,80 @@
+#include "mcs/analysis/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mcs::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TaskSet make_set() {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{3.39, 6.33}, 10.0);  // U=0.633 alone
+  tasks.emplace_back(1, std::vector<double>{2.0}, 10.0);         // U=0.2 alone
+  return TaskSet(std::move(tasks), 2);
+}
+
+TEST(PartitionMetricsTest, PerCoreUtilizationsAndAggregates) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  const PartitionMetrics m = partition_metrics(p);
+  ASSERT_EQ(m.core_utils.size(), 2u);
+  EXPECT_NEAR(m.core_utils[0], 0.633, 1e-12);
+  EXPECT_NEAR(m.core_utils[1], 0.2, 1e-12);
+  EXPECT_NEAR(m.u_sys, 0.633, 1e-12);
+  EXPECT_NEAR(m.u_min, 0.2, 1e-12);
+  EXPECT_NEAR(m.u_avg, (0.633 + 0.2) / 2.0, 1e-12);
+  EXPECT_NEAR(m.imbalance, (0.633 - 0.2) / 0.633, 1e-12);
+  EXPECT_TRUE(m.feasible);
+}
+
+TEST(PartitionMetricsTest, EmptyCoresCountAsZero) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 3);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  const PartitionMetrics m = partition_metrics(p);
+  EXPECT_NEAR(m.core_utils[0], 0.833, 1e-12);
+  EXPECT_DOUBLE_EQ(m.core_utils[1], 0.0);
+  EXPECT_DOUBLE_EQ(m.core_utils[2], 0.0);
+  EXPECT_NEAR(m.imbalance, 1.0, 1e-12);
+}
+
+TEST(PartitionMetricsTest, InfeasibleCoreFlagsPartition) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{4.0, 8.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{5.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  const PartitionMetrics m = partition_metrics(p);
+  EXPECT_FALSE(m.feasible);
+  EXPECT_TRUE(std::isinf(m.u_sys));
+}
+
+TEST(ImbalanceFactorTest, ZeroWhenAllIdle) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 0.0);
+}
+
+TEST(ImbalanceFactorTest, PerfectBalanceIsZero) {
+  EXPECT_NEAR(imbalance_factor({0.5, 0.5, 0.5}), 0.0, 1e-12);
+}
+
+TEST(ImbalanceFactorTest, FollowsEq16) {
+  EXPECT_NEAR(imbalance_factor({0.8, 0.4}), 0.5, 1e-12);
+  EXPECT_NEAR(imbalance_factor({0.9, 0.3, 0.6}), (0.9 - 0.3) / 0.9, 1e-12);
+}
+
+TEST(ImbalanceFactorTest, InfiniteUtilizationSaturatesToOne) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({kInf, 0.2}), 1.0);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -1,0 +1,113 @@
+#include "mcs/analysis/vdeadlines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/gen/rng.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+UtilMatrix matrix_from(const std::vector<McTask>& tasks, Level levels) {
+  UtilMatrix u(levels);
+  for (const McTask& t : tasks) u.add(t);
+  return u;
+}
+
+TEST(DeadlinePolicyTest, DualSecondOperandShrinksHighTasksInLowMode) {
+  // U_1(1)=0.4, U_2(1)=0.15, U_2(2)=0.7 -> min term picks the second
+  // operand; HI tasks run at scale 1 - U_2(2) = 0.3 in mode 1 and are
+  // restored in mode 2.
+  const DeadlinePolicy policy(matrix_from(
+      {McTask(0, {4.0}, 10.0), McTask(1, {1.5, 7.0}, 10.0)}, 2));
+  ASSERT_TRUE(policy.analysis().schedulable);
+  EXPECT_FALSE(policy.analysis().min_picked_full_budget);
+  EXPECT_DOUBLE_EQ(policy.scale(1, 1), 1.0);
+  EXPECT_NEAR(policy.scale(2, 1), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(policy.scale(2, 2), 1.0);
+}
+
+TEST(DeadlinePolicyTest, DualFirstOperandNeedsNoShrinking) {
+  // U_1(1)=0.3, U_2(1)=0.3, U_2(2)=0.5 -> min picks U_2(2): plain EDF works.
+  const DeadlinePolicy policy(matrix_from(
+      {McTask(0, {3.0}, 10.0), McTask(1, {3.0, 5.0}, 10.0)}, 2));
+  ASSERT_TRUE(policy.analysis().schedulable);
+  EXPECT_TRUE(policy.analysis().min_picked_full_budget);
+  EXPECT_DOUBLE_EQ(policy.scale(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.scale(2, 2), 1.0);
+}
+
+TEST(DeadlinePolicyTest, InfeasibleSubsetFallsBackToPlainEdf) {
+  const DeadlinePolicy policy(matrix_from(
+      {McTask(0, {5.0}, 10.0), McTask(1, {4.0, 8.0}, 10.0)}, 2));
+  EXPECT_FALSE(policy.analysis().schedulable);
+  EXPECT_EQ(policy.restore_level(), 0u);
+  EXPECT_DOUBLE_EQ(policy.scale(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.scale(2, 1), 1.0);
+}
+
+TEST(DeadlinePolicyTest, ThreeLevelPreSwitchUsesLambdaProducts) {
+  // best_k = 2 example (see edfvd_test): L1 u=0.65; L2 u=(0.1,0.2);
+  // L3 u=(0.1,0.15,0.3).  lambda_2 = 0.2/0.35.
+  const DeadlinePolicy policy(matrix_from(
+      {McTask(0, {65.0}, 100.0), McTask(1, {10.0, 20.0}, 100.0),
+       McTask(2, {10.0, 15.0, 30.0}, 100.0)},
+      3));
+  ASSERT_TRUE(policy.analysis().schedulable);
+  ASSERT_EQ(policy.restore_level(), 2u);
+  const double lambda2 = 0.2 / 0.35;
+  // Mode 1 < k*: level-1 tasks full, higher levels shrunk by lambda_2.
+  EXPECT_DOUBLE_EQ(policy.scale(1, 1), 1.0);
+  EXPECT_NEAR(policy.scale(2, 1), lambda2, 1e-12);
+  EXPECT_NEAR(policy.scale(3, 1), lambda2, 1e-12);
+  // Mode 2 == k*: levels k*..K-1 restored; level K scaled by 1 - U_3(3)
+  // (min term picked the second operand: 0.15/0.7 < 0.3).
+  EXPECT_FALSE(policy.analysis().min_picked_full_budget);
+  EXPECT_DOUBLE_EQ(policy.scale(2, 2), 1.0);
+  EXPECT_NEAR(policy.scale(3, 2), 0.7, 1e-12);
+  // Mode 3 == K: everything restored.
+  EXPECT_DOUBLE_EQ(policy.scale(3, 3), 1.0);
+}
+
+TEST(DeadlinePolicyTest, ScaleRejectsDroppedOrInvalidQueries) {
+  const DeadlinePolicy policy(matrix_from(
+      {McTask(0, {3.0}, 10.0), McTask(1, {3.0, 5.0}, 10.0)}, 2));
+  EXPECT_THROW((void)policy.scale(1, 2), std::out_of_range);  // dropped task
+  EXPECT_THROW((void)policy.scale(3, 1), std::out_of_range);  // level > K
+  EXPECT_THROW((void)policy.scale(2, 0), std::out_of_range);  // mode < 1
+}
+
+TEST(DeadlinePolicyTest, SingleLevelNeverShrinks) {
+  const DeadlinePolicy policy(matrix_from({McTask(0, {5.0}, 10.0)}, 1));
+  EXPECT_DOUBLE_EQ(policy.scale(1, 1), 1.0);
+}
+
+TEST(DeadlinePolicyTest, ScalesAreAlwaysInUnitInterval) {
+  // Randomized sweep: every (level, mode) scale must lie in (0, 1].
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    gen::Rng rng(seed);
+    UtilMatrix u(4);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto level = static_cast<Level>(rng.uniform_int(1, 4));
+      std::vector<double> wcets;
+      double c = rng.uniform(0.5, 3.0);
+      for (Level k = 1; k <= level; ++k) {
+        wcets.push_back(c);
+        c *= 1.4;
+      }
+      if (wcets.back() > 20.0) continue;
+      u.add(McTask(i, wcets, 20.0));
+    }
+    const DeadlinePolicy policy(u);
+    for (Level mode = 1; mode <= 4; ++mode) {
+      for (Level level = mode; level <= 4; ++level) {
+        const double s = policy.scale(level, mode);
+        EXPECT_GT(s, 0.0) << "seed " << seed;
+        EXPECT_LE(s, 1.0) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::analysis

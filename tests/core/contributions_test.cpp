@@ -1,0 +1,88 @@
+#include "mcs/core/contributions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs {
+namespace {
+
+// Dual-criticality set engineered so that contribution order differs from
+// max-utilization order:
+//   tau_0: L1, u(1) = 0.30
+//   tau_1: L2, u(1) = 0.05, u(2) = 0.35
+//   tau_2: L2, u(1) = 0.25, u(2) = 0.30
+// U(1) = 0.6, U(2) = 0.65.
+// C_0 = 0.30/0.60 = 0.500
+// C_1 = max(0.05/0.6, 0.35/0.65) = max(0.0833, 0.5385) = 0.5385
+// C_2 = max(0.25/0.6, 0.30/0.65) = max(0.4167, 0.4615) = 0.4615
+// Contribution order: tau_1, tau_0, tau_2.
+// Max-utilization order: tau_1 (0.35), tau_0 (0.30) vs tau_2 (0.30) --
+// tie broken toward higher level: tau_2 before tau_0.
+TaskSet make_set() {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{3.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{0.5, 3.5}, 10.0);
+  tasks.emplace_back(2, std::vector<double>{2.5, 3.0}, 10.0);
+  return TaskSet(std::move(tasks), 2);
+}
+
+TEST(ContributionTest, PerLevelContributionMatchesEq12) {
+  const TaskSet ts = make_set();
+  EXPECT_NEAR(utilization_contribution(ts, 0, 1), 0.3 / 0.6, 1e-12);
+  EXPECT_NEAR(utilization_contribution(ts, 1, 1), 0.05 / 0.6, 1e-12);
+  EXPECT_NEAR(utilization_contribution(ts, 1, 2), 0.35 / 0.65, 1e-12);
+  EXPECT_NEAR(utilization_contribution(ts, 2, 2), 0.30 / 0.65, 1e-12);
+}
+
+TEST(ContributionTest, OverallContributionIsMaxOverLevels) {
+  const TaskSet ts = make_set();
+  const auto contribs = utilization_contributions(ts);
+  ASSERT_EQ(contribs.size(), 3u);
+  EXPECT_NEAR(contribs[0].value, 0.5, 1e-12);
+  EXPECT_NEAR(contribs[1].value, 0.35 / 0.65, 1e-12);
+  EXPECT_NEAR(contribs[2].value, 0.30 / 0.65, 1e-12);
+  EXPECT_EQ(contribs[1].argmax_level, 2u);
+  EXPECT_EQ(contribs[2].argmax_level, 2u);
+}
+
+TEST(ContributionTest, LevelOutOfTaskRangeThrows) {
+  const TaskSet ts = make_set();
+  EXPECT_THROW((void)utilization_contribution(ts, 0, 2), std::out_of_range);
+}
+
+TEST(ContributionTest, OrderByContribution) {
+  const TaskSet ts = make_set();
+  const auto order = order_by_contribution(ts);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(ContributionTest, OrderByMaxUtilizationBreaksTiesByLevel) {
+  const TaskSet ts = make_set();
+  const auto order = order_by_max_utilization(ts);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ContributionTest, EqualContributionTieBreaksByLevelThenIndex) {
+  // Two identical L1 tasks and one L2 task with the same contribution value.
+  // tau_0, tau_1: L1 u(1)=0.2; tau_2: L2 u(1)=0.2, u(2)=0.4 (sole L2 task,
+  // so C_2 = max(0.2/0.6, 0.4/0.4) = 1.0).
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{2.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{2.0}, 10.0);
+  tasks.emplace_back(2, std::vector<double>{2.0, 4.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  const auto order = order_by_contribution(ts);
+  // tau_2 first (C = 1.0), then tau_0 before tau_1 (equal C, equal level,
+  // smaller index wins).
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(ContributionTest, SingleTaskHasFullContribution) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{1.0, 2.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  const auto contribs = utilization_contributions(ts);
+  EXPECT_DOUBLE_EQ(contribs[0].value, 1.0);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,133 @@
+// Cross-cutting structural invariants of the core data model, checked over
+// randomized workloads.
+#include <gtest/gtest.h>
+
+#include "mcs/core/contributions.hpp"
+#include "mcs/core/partition.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs {
+namespace {
+
+class CoreInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TaskSet make_set(Level levels = 4) {
+    gen::GenParams params;
+    params.num_levels = levels;
+    params.num_tasks = 40;
+    return gen::generate_trial(params, GetParam(), 0);
+  }
+};
+
+TEST_P(CoreInvariantTest, ContributionsAtEachLevelSumToOne) {
+  // Eq. (12): C_i(k) = u_i(k)/U(k), so summing over every task with
+  // l_i >= k must give exactly 1 at every level with demand.
+  const TaskSet ts = make_set();
+  for (Level k = 1; k <= ts.num_levels(); ++k) {
+    if (ts.total_util(k) <= 0.0) continue;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].level() < k) continue;
+      sum += utilization_contribution(ts, i, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "level " << k;
+  }
+}
+
+TEST_P(CoreInvariantTest, ContributionOrderingIsAPermutation) {
+  const TaskSet ts = make_set();
+  const auto order = order_by_contribution(ts);
+  ASSERT_EQ(order.size(), ts.size());
+  std::vector<bool> seen(ts.size(), false);
+  for (std::size_t i : order) {
+    ASSERT_LT(i, ts.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Decreasing contribution values along the order.
+  const auto contribs = utilization_contributions(ts);
+  std::vector<double> value(ts.size());
+  for (const Contribution& c : contribs) value[c.task_index] = c.value;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(value[order[i - 1]], value[order[i]] - 1e-15);
+  }
+}
+
+TEST_P(CoreInvariantTest, UtilMatrixMatchesScratchRecomputation) {
+  // Random add/remove churn must leave the matrix identical to a fresh
+  // accumulation of the surviving tasks.
+  const TaskSet ts = make_set(3);
+  gen::Rng rng(GetParam() * 13 + 1);
+  UtilMatrix churn(3);
+  std::vector<std::size_t> present;
+  for (int step = 0; step < 200; ++step) {
+    if (present.empty() || rng.bernoulli(0.6)) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, ts.size() - 1));
+      churn.add(ts[i]);
+      present.push_back(i);
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, present.size() - 1));
+      churn.remove(ts[present[pick]]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  UtilMatrix fresh(3);
+  for (std::size_t i : present) fresh.add(ts[i]);
+  EXPECT_EQ(churn.size(), fresh.size());
+  for (Level j = 1; j <= 3; ++j) {
+    for (Level k = 1; k <= j; ++k) {
+      EXPECT_NEAR(churn.level_util(j, k), fresh.level_util(j, k), 1e-9)
+          << "(" << j << "," << k << ")";
+    }
+  }
+}
+
+TEST_P(CoreInvariantTest, PartitionCoreUtilsSumToSetUtils) {
+  // However tasks are spread, the per-core matrices must partition the
+  // whole set's utilizations.
+  const TaskSet ts = make_set();
+  gen::Rng rng(GetParam() + 7);
+  Partition p(ts, 4);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    p.assign(i, static_cast<std::size_t>(rng.uniform_int(0, 3)));
+  }
+  for (Level k = 1; k <= ts.num_levels(); ++k) {
+    double total = 0.0;
+    for (std::size_t core = 0; core < 4; ++core) {
+      total += p.utils_on(core).total_at_or_above(k);
+    }
+    EXPECT_NEAR(total, ts.total_util(k), 1e-9) << "level " << k;
+  }
+}
+
+TEST_P(CoreInvariantTest, GeneratorPeriodClassesAreBalanced) {
+  gen::GenParams params;
+  params.num_tasks = 0;
+  std::array<int, 3> counts{};
+  int total = 0;
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 90, trial);
+    for (const McTask& t : ts) {
+      for (std::size_t cls = 0; cls < 3; ++cls) {
+        const auto [lo, hi] = params.period_classes[cls];
+        if (t.period() >= lo && t.period() <= hi) {
+          // Classes overlap at boundaries; attribute to the first match.
+          counts[cls] += 1;
+          break;
+        }
+      }
+      ++total;
+    }
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, total / 6) << "a period class is starved";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreInvariantTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,81 @@
+#include "mcs/core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs {
+namespace {
+
+TaskSet make_set() {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{2.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{1.0, 4.0}, 10.0);
+  tasks.emplace_back(2, std::vector<double>{2.0, 5.0}, 20.0);
+  return TaskSet(std::move(tasks), 2);
+}
+
+TEST(PartitionTest, StartsEmpty) {
+  const TaskSet ts = make_set();
+  const Partition p(ts, 2);
+  EXPECT_EQ(p.num_cores(), 2u);
+  EXPECT_EQ(p.assigned_count(), 0u);
+  EXPECT_FALSE(p.complete());
+  EXPECT_EQ(p.core_of(0), kUnassigned);
+  EXPECT_TRUE(p.utils_on(0).empty());
+}
+
+TEST(PartitionTest, AssignUpdatesMembershipAndUtils) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  p.assign(1, 0);
+  p.assign(2, 0);
+  p.assign(0, 1);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.core_of(1), 0u);
+  EXPECT_EQ(p.tasks_on(0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(p.tasks_on(1), (std::vector<std::size_t>{0}));
+  // Core 0: U_2(1) = 0.1 + 0.1 = 0.2; U_2(2) = 0.4 + 0.25 = 0.65.
+  EXPECT_NEAR(p.utils_on(0).level_util(2, 1), 0.2, 1e-12);
+  EXPECT_NEAR(p.utils_on(0).level_util(2, 2), 0.65, 1e-12);
+  EXPECT_NEAR(p.utils_on(1).level_util(1, 1), 0.2, 1e-12);
+}
+
+TEST(PartitionTest, UnassignRestoresState) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  p.assign(1, 0);
+  p.assign(2, 0);
+  p.unassign(1);
+  EXPECT_EQ(p.core_of(1), kUnassigned);
+  EXPECT_EQ(p.tasks_on(0), (std::vector<std::size_t>{2}));
+  EXPECT_NEAR(p.utils_on(0).level_util(2, 2), 0.25, 1e-12);
+  EXPECT_EQ(p.assigned_count(), 1u);
+}
+
+TEST(PartitionTest, DoubleAssignThrows) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  p.assign(0, 0);
+  EXPECT_THROW(p.assign(0, 1), std::logic_error);
+}
+
+TEST(PartitionTest, UnassignUnassignedThrows) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  EXPECT_THROW(p.unassign(0), std::logic_error);
+}
+
+TEST(PartitionTest, OutOfRangeIndicesThrow) {
+  const TaskSet ts = make_set();
+  Partition p(ts, 2);
+  EXPECT_THROW(p.assign(3, 0), std::out_of_range);
+  EXPECT_THROW(p.assign(0, 2), std::out_of_range);
+  EXPECT_THROW(p.unassign(3), std::out_of_range);
+}
+
+TEST(PartitionTest, NeedsAtLeastOneCore) {
+  const TaskSet ts = make_set();
+  EXPECT_THROW(Partition(ts, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,83 @@
+#include "mcs/core/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs {
+namespace {
+
+TEST(McTaskTest, BasicAccessors) {
+  const McTask t(7, {2.0, 3.0, 5.0}, 10.0);
+  EXPECT_EQ(t.id(), 7u);
+  EXPECT_EQ(t.level(), 3u);
+  EXPECT_DOUBLE_EQ(t.period(), 10.0);
+  EXPECT_DOUBLE_EQ(t.wcet(1), 2.0);
+  EXPECT_DOUBLE_EQ(t.wcet(2), 3.0);
+  EXPECT_DOUBLE_EQ(t.wcet(3), 5.0);
+}
+
+TEST(McTaskTest, UtilizationPerLevel) {
+  const McTask t(0, {2.0, 4.0}, 8.0);
+  EXPECT_DOUBLE_EQ(t.utilization(1), 0.25);
+  EXPECT_DOUBLE_EQ(t.utilization(2), 0.5);
+  EXPECT_DOUBLE_EQ(t.max_utilization(), 0.5);
+}
+
+TEST(McTaskTest, SingleLevelTask) {
+  const McTask t(1, {3.0}, 6.0);
+  EXPECT_EQ(t.level(), 1u);
+  EXPECT_DOUBLE_EQ(t.max_utilization(), 0.5);
+}
+
+TEST(McTaskTest, EqualConsecutiveWcetsAllowed) {
+  const McTask t(0, {2.0, 2.0, 3.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.wcet(1), t.wcet(2));
+}
+
+TEST(McTaskTest, RejectsEmptyWcets) {
+  EXPECT_THROW(McTask(0, {}, 10.0), std::invalid_argument);
+}
+
+TEST(McTaskTest, RejectsNonPositivePeriod) {
+  EXPECT_THROW(McTask(0, {1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(McTask(0, {1.0}, -5.0), std::invalid_argument);
+}
+
+TEST(McTaskTest, RejectsNonPositiveWcet) {
+  EXPECT_THROW(McTask(0, {0.0, 1.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(McTask(0, {-1.0}, 10.0), std::invalid_argument);
+}
+
+TEST(McTaskTest, RejectsDecreasingWcets) {
+  EXPECT_THROW(McTask(0, {3.0, 2.0}, 10.0), std::invalid_argument);
+}
+
+TEST(McTaskTest, RejectsWcetAbovePeriod) {
+  EXPECT_THROW(McTask(0, {2.0, 12.0}, 10.0), std::invalid_argument);
+}
+
+TEST(McTaskTest, WcetLevelOutOfRangeThrows) {
+  const McTask t(0, {1.0, 2.0}, 10.0);
+  EXPECT_THROW((void)t.wcet(0), std::out_of_range);
+  EXPECT_THROW((void)t.wcet(3), std::out_of_range);
+  EXPECT_THROW((void)t.utilization(3), std::out_of_range);
+}
+
+TEST(McTaskTest, DescribeMentionsIdAndLevel) {
+  const McTask t(42, {1.0, 2.0}, 10.0);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("tau_42"), std::string::npos);
+  EXPECT_NE(d.find("L2"), std::string::npos);
+}
+
+TEST(McTaskTest, EqualityIsStructural) {
+  const McTask a(0, {1.0, 2.0}, 10.0);
+  const McTask b(0, {1.0, 2.0}, 10.0);
+  const McTask c(0, {1.0, 2.5}, 10.0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace mcs

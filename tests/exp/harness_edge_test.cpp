@@ -1,0 +1,109 @@
+// Edge cases of the experiment harness and engine configuration knobs that
+// the figure benches exercise only implicitly.
+#include <gtest/gtest.h>
+
+#include "mcs/mcs.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(HarnessEdgeTest, ZeroTrialsYieldEmptyAggregates) {
+  const auto schemes = partition::paper_schemes();
+  const exp::PointResult pt = exp::run_point(
+      exp::default_gen_params(), schemes, exp::RunOptions{.trials = 0}, 0.0);
+  for (const exp::SchemeAggregate& agg : pt.schemes) {
+    EXPECT_EQ(agg.trials, 0u);
+    EXPECT_EQ(agg.schedulable, 0u);
+    EXPECT_DOUBLE_EQ(agg.ratio(), 0.0);
+  }
+}
+
+TEST(HarnessEdgeTest, SingleTrialStillAggregates) {
+  const auto schemes = partition::paper_schemes();
+  gen::GenParams params = exp::default_gen_params();
+  params.num_tasks = 20;
+  params.nsu = 0.3;
+  const exp::PointResult pt =
+      exp::run_point(params, schemes, exp::RunOptions{.trials = 1}, 0.0);
+  for (const exp::SchemeAggregate& agg : pt.schemes) {
+    EXPECT_EQ(agg.trials, 1u);
+    EXPECT_LE(agg.schedulable, 1u);
+  }
+}
+
+TEST(HarnessEdgeTest, ProbeCountsAreAggregated) {
+  const auto schemes = partition::paper_schemes();
+  gen::GenParams params = exp::default_gen_params();
+  params.num_tasks = 20;
+  params.nsu = 0.3;
+  const exp::PointResult pt =
+      exp::run_point(params, schemes, exp::RunOptions{.trials = 10}, 0.0);
+  for (const exp::SchemeAggregate& agg : pt.schemes) {
+    EXPECT_EQ(agg.probes.count(), 10u);
+    EXPECT_GT(agg.probes.mean(), 0.0) << agg.scheme;
+  }
+}
+
+TEST(EngineConfigTest, MissToleranceAbsorbsBoundaryCompletions) {
+  // A task finishing exactly at its deadline (u = 1.0 alone) is not a miss.
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{10.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  const sim::FixedLevelScenario nominal(1);
+  const sim::SimResult r =
+      simulate(p, nominal, sim::SimConfig{.horizon = 100.0});
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].jobs_completed, 9u);  // the 10th ends exactly at 100
+}
+
+TEST(EngineConfigTest, StopOnMissHaltsOnlyTheAffectedCore) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{6.0}, 10.0);  // core 0 (overload)
+  tasks.emplace_back(1, std::vector<double>{6.0}, 10.0);  // core 0
+  tasks.emplace_back(2, std::vector<double>{5.0}, 10.0);  // core 1 (fine)
+  const TaskSet ts(std::move(tasks), 1);
+  Partition p(ts, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  const sim::FixedLevelScenario nominal(1);
+  const sim::SimResult r =
+      simulate(p, nominal, sim::SimConfig{.horizon = 100.0});
+  EXPECT_TRUE(r.missed_deadline());
+  EXPECT_EQ(r.cores[1].jobs_completed, 10u);  // core 1 ran to the horizon
+}
+
+TEST(EngineConfigTest, StickyModeNeverReturnsToLevelOne) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{2.0, 6.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{1.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  // Only the first HI job overruns; with idle reset the core would recover,
+  // without it the LO task is suppressed for the rest of the run.
+  class FirstJobOverruns final : public sim::ExecutionScenario {
+   public:
+    double execution_time(const McTask& task,
+                          std::uint64_t job) const override {
+      if (task.level() == 2 && job == 0) return task.wcet(2);
+      return task.wcet(1);
+    }
+  };
+  const FirstJobOverruns scenario;
+  sim::SimConfig config{.horizon = 100.0};
+  config.idle_reset = false;
+  const sim::SimResult sticky = simulate(p, scenario, config);
+  EXPECT_EQ(sticky.cores[0].idle_resets, 0u);
+  EXPECT_EQ(sticky.tasks[1].completed, 0u);  // LO dropped at t=2, then
+  EXPECT_EQ(sticky.tasks[1].suppressed, 9u);  // suppressed forever
+  const sim::SimResult resetting =
+      simulate(p, scenario, sim::SimConfig{.horizon = 100.0});
+  EXPECT_GT(resetting.tasks[1].completed, 5u);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,93 @@
+#include "mcs/exp/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::exp {
+namespace {
+
+gen::GenParams small_params() {
+  gen::GenParams p;
+  p.num_cores = 4;
+  p.num_levels = 3;
+  p.nsu = 0.6;
+  p.num_tasks = 30;
+  return p;
+}
+
+TEST(MonteCarloTest, TrialCountsAddUp) {
+  const auto schemes = partition::paper_schemes();
+  const PointResult pt =
+      run_point(small_params(), schemes, RunOptions{.trials = 100}, 0.6);
+  ASSERT_EQ(pt.schemes.size(), 5u);
+  for (const SchemeAggregate& agg : pt.schemes) {
+    EXPECT_EQ(agg.trials, 100u);
+    EXPECT_LE(agg.schedulable, agg.trials);
+    EXPECT_GE(agg.ratio(), 0.0);
+    EXPECT_LE(agg.ratio(), 1.0);
+    EXPECT_EQ(agg.u_sys.count(), agg.schedulable);
+  }
+  EXPECT_DOUBLE_EQ(pt.x, 0.6);
+}
+
+TEST(MonteCarloTest, SchemeNamesPreserveOrder) {
+  const auto schemes = partition::paper_schemes();
+  const PointResult pt =
+      run_point(small_params(), schemes, RunOptions{.trials = 10}, 0.0);
+  EXPECT_EQ(pt.schemes[0].scheme, "WFD");
+  EXPECT_EQ(pt.schemes[1].scheme, "FFD");
+  EXPECT_EQ(pt.schemes[2].scheme, "BFD");
+  EXPECT_EQ(pt.schemes[3].scheme, "Hybrid");
+  EXPECT_EQ(pt.schemes[4].scheme, "CA-TPA");
+}
+
+TEST(MonteCarloTest, DeterministicAcrossThreadCounts) {
+  const auto schemes = partition::paper_schemes();
+  const PointResult a = run_point(
+      small_params(), schemes, RunOptions{.trials = 200, .seed = 9, .threads = 1},
+      0.0);
+  const PointResult b = run_point(
+      small_params(), schemes, RunOptions{.trials = 200, .seed = 9, .threads = 3},
+      0.0);
+  for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+    EXPECT_EQ(a.schemes[s].schedulable, b.schemes[s].schedulable);
+    EXPECT_NEAR(a.schemes[s].u_sys.mean(), b.schemes[s].u_sys.mean(), 1e-9);
+    EXPECT_NEAR(a.schemes[s].imbalance.mean(), b.schemes[s].imbalance.mean(),
+                1e-9);
+  }
+}
+
+TEST(MonteCarloTest, DifferentSeedsGiveDifferentWorkloads) {
+  const auto schemes = partition::paper_schemes();
+  const PointResult a = run_point(small_params(), schemes,
+                                  RunOptions{.trials = 150, .seed = 1}, 0.0);
+  const PointResult b = run_point(small_params(), schemes,
+                                  RunOptions{.trials = 150, .seed = 2}, 0.0);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+    if (a.schemes[s].schedulable != b.schemes[s].schedulable) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The paper's headline claim at a statistically robust scale: CA-TPA's
+// schedulability ratio beats every baseline at moderate-to-high load.
+TEST(MonteCarloTest, CaTpaDominatesBaselinesAtHighLoad) {
+  gen::GenParams params = small_params();
+  params.num_cores = 8;
+  params.num_levels = 4;
+  params.nsu = 0.65;
+  params.num_tasks = 0;  // paper's N ~ U{40..200}
+  const auto schemes = partition::paper_schemes(0.7);
+  const PointResult pt =
+      run_point(params, schemes, RunOptions{.trials = 400, .seed = 3}, 0.65);
+  const SchemeAggregate& catpa = pt.schemes[4];
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GE(catpa.ratio(), pt.schemes[s].ratio())
+        << "CA-TPA lost to " << pt.schemes[s].scheme;
+  }
+  // WFD is the weakest packer in the paper's experiments.
+  EXPECT_LT(pt.schemes[0].ratio(), catpa.ratio());
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -1,0 +1,175 @@
+#include "mcs/gen/taskset_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcs/util/stats.hpp"
+
+namespace mcs::gen {
+namespace {
+
+bool in_some_period_class(const GenParams& params, double p) {
+  for (const auto& [lo, hi] : params.period_classes) {
+    if (p >= lo && p <= hi) return true;
+  }
+  return false;
+}
+
+TEST(GeneratorTest, RespectsStructuralContract) {
+  GenParams params;
+  params.num_cores = 8;
+  params.num_levels = 4;
+  params.nsu = 0.6;
+  params.ifc = 0.4;
+  Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    GenStats stats;
+    const TaskSet ts = generate(params, rng, &stats);
+    EXPECT_EQ(ts.num_levels(), 4u);
+    EXPECT_GE(ts.size(), 40u);
+    EXPECT_LE(ts.size(), 200u);
+    EXPECT_EQ(stats.tasks, ts.size());
+    for (const McTask& t : ts) {
+      EXPECT_GE(t.level(), 1u);
+      EXPECT_LE(t.level(), 4u);
+      EXPECT_TRUE(in_some_period_class(params, t.period())) << t.describe();
+      for (Level k = 1; k < t.level(); ++k) {
+        EXPECT_LE(t.wcet(k), t.wcet(k + 1));
+      }
+      EXPECT_LE(t.wcet(t.level()), t.period());
+    }
+  }
+}
+
+TEST(GeneratorTest, WcetGrowthFollowsIfc) {
+  GenParams params;
+  params.num_levels = 5;
+  params.ifc = 0.5;
+  params.num_tasks = 100;
+  params.nsu = 0.2;  // low so the period cap rarely binds
+  Rng rng(2);
+  GenStats stats;
+  const TaskSet ts = generate(params, rng, &stats);
+  for (const McTask& t : ts) {
+    for (Level k = 1; k < t.level(); ++k) {
+      // Either exact 1.5x growth or clamped at the period.
+      const bool grew = std::abs(t.wcet(k + 1) - 1.5 * t.wcet(k)) < 1e-9;
+      const bool capped = t.wcet(k + 1) == t.period();
+      EXPECT_TRUE(grew || capped) << t.describe();
+    }
+  }
+}
+
+TEST(GeneratorTest, RawUtilizationTracksNsu) {
+  // E[sum u_i(1)] = NSU * M; the mean over many sets must be close.
+  GenParams params;
+  params.num_cores = 8;
+  params.nsu = 0.6;
+  params.num_tasks = 100;
+  util::Welford raw;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    const TaskSet ts = generate_trial(params, 3, trial);
+    raw.add(ts.raw_level1_util() / static_cast<double>(params.num_cores));
+  }
+  EXPECT_NEAR(raw.mean(), 0.6, 0.02);
+}
+
+TEST(GeneratorTest, FixedTaskCountHonored) {
+  GenParams params;
+  params.num_tasks = 57;
+  Rng rng(4);
+  EXPECT_EQ(generate(params, rng).size(), 57u);
+}
+
+TEST(GeneratorTest, RandomLevelsDrawsBetween2And6) {
+  GenParams params;
+  params.random_levels = true;
+  params.num_tasks = 10;
+  bool seen_low = false;
+  bool seen_high = false;
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    GenStats stats;
+    Rng rng(derive_seed(5, trial));
+    const TaskSet ts = generate(params, rng, &stats);
+    EXPECT_GE(stats.levels, 2u);
+    EXPECT_LE(stats.levels, 6u);
+    if (stats.levels == 2) seen_low = true;
+    if (stats.levels == 6) seen_high = true;
+  }
+  EXPECT_TRUE(seen_low);
+  EXPECT_TRUE(seen_high);
+}
+
+TEST(GeneratorTest, GenerateTrialIsDeterministic) {
+  GenParams params;
+  params.num_tasks = 30;
+  const TaskSet a = generate_trial(params, 42, 7);
+  const TaskSet b = generate_trial(params, 42, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const TaskSet c = generate_trial(params, 42, 8);
+  bool all_equal = c.size() == a.size();
+  if (all_equal) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == c[i])) {
+        all_equal = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(GeneratorTest, HigherIfcRaisesOwnLevelUtilization) {
+  GenParams lo;
+  lo.ifc = 0.3;
+  lo.num_tasks = 80;
+  GenParams hi = lo;
+  hi.ifc = 0.7;
+  util::Welford lo_util;
+  util::Welford hi_util;
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    lo_util.add(generate_trial(lo, 6, trial).utils().own_level_sum());
+    hi_util.add(generate_trial(hi, 6, trial).utils().own_level_sum());
+  }
+  EXPECT_GT(hi_util.mean(), lo_util.mean());
+}
+
+TEST(GeneratorTest, CountsWcetCapsUnderExtremeLoad) {
+  // Absurd NSU forces c_i(1) (and the IFC growth) into the period cap; the
+  // stats must report it and every task must stay individually feasible.
+  GenParams params;
+  params.nsu = 12.0;
+  params.num_tasks = 50;
+  params.num_levels = 4;
+  Rng rng(17);
+  GenStats stats;
+  const TaskSet ts = generate(params, rng, &stats);
+  EXPECT_GT(stats.wcet_caps, 0u);
+  for (const McTask& t : ts) {
+    EXPECT_LE(t.wcet(t.level()), t.period());
+  }
+}
+
+TEST(GeneratorTest, RejectsBadParameters) {
+  Rng rng(1);
+  GenParams p0;
+  p0.num_cores = 0;
+  EXPECT_THROW((void)generate(p0, rng), std::invalid_argument);
+  GenParams p1;
+  p1.nsu = 0.0;
+  EXPECT_THROW((void)generate(p1, rng), std::invalid_argument);
+  GenParams p2;
+  p2.ifc = -0.1;
+  EXPECT_THROW((void)generate(p2, rng), std::invalid_argument);
+  GenParams p3;
+  p3.num_levels = 0;
+  EXPECT_THROW((void)generate(p3, rng), std::invalid_argument);
+  GenParams p4;
+  p4.period_classes[1] = {100.0, 50.0};
+  EXPECT_THROW((void)generate(p4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::gen

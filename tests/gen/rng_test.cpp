@@ -1,0 +1,102 @@
+#include "mcs/gen/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcs::gen {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  // Chi-squared-ish sanity: 6 buckets, 60k draws, each within 5% of 10k.
+  Rng rng(11);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 60000; ++i) {
+    counts[rng.uniform_int(0, 5)] += 1;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  const Rng parent(99);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  Rng a2 = parent.fork(0);
+  int equal_ab = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a();
+    if (va == b()) ++equal_ab;
+    EXPECT_EQ(va, a2());  // same child index -> same stream
+  }
+  EXPECT_LT(equal_ab, 2);
+}
+
+TEST(DeriveSeedTest, IsDeterministicAndSpreads) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(123, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace mcs::gen

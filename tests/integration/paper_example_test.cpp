@@ -1,0 +1,80 @@
+// The reconstructed Sec. III walk-through as a regression test: a concrete
+// 5-task / 2-core / dual-criticality instance on which every classical
+// scheme (WFD, FFD, BFD, Hybrid) fails while CA-TPA finds a feasible
+// partition (see DESIGN.md "Table I example").
+#include <gtest/gtest.h>
+
+#include "mcs/mcs.hpp"
+
+namespace mcs {
+namespace {
+
+TaskSet make_paper_example() {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(1, std::vector<double>{15.1, 32.4}, 80.0);
+  tasks.emplace_back(2, std::vector<double>{8.1, 13.3}, 35.0);
+  tasks.emplace_back(3, std::vector<double>{22.0}, 60.0);
+  tasks.emplace_back(4, std::vector<double>{5.5, 8.4}, 15.0);
+  tasks.emplace_back(5, std::vector<double>{20.5}, 65.0);
+  return TaskSet(std::move(tasks), 2);
+}
+
+TEST(PaperExampleTest, EveryClassicalBaselineFails) {
+  const TaskSet ts = make_paper_example();
+  for (const char* name : {"WFD", "FFD", "BFD", "Hybrid"}) {
+    const auto scheme = partition::make_scheme(name);
+    const partition::PartitionResult r = scheme->run(ts, 2);
+    EXPECT_FALSE(r.success) << name << " unexpectedly succeeded";
+    EXPECT_TRUE(r.failed_task.has_value());
+  }
+}
+
+TEST(PaperExampleTest, CaTpaSucceedsWithExpectedMapping) {
+  const TaskSet ts = make_paper_example();
+  const partition::CaTpaPartitioner catpa;
+  const partition::PartitionResult r = catpa.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  // tau_2, tau_4 -> P1; tau_1, tau_3, tau_5 -> P2 (indices 1,3 / 0,2,4).
+  EXPECT_EQ(r.partition.core_of(1), 0u);
+  EXPECT_EQ(r.partition.core_of(3), 0u);
+  EXPECT_EQ(r.partition.core_of(0), 1u);
+  EXPECT_EQ(r.partition.core_of(2), 1u);
+  EXPECT_EQ(r.partition.core_of(4), 1u);
+
+  const analysis::PartitionMetrics m = analysis::partition_metrics(r.partition);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_NEAR(m.u_sys, 0.9993, 5e-4);
+  EXPECT_NEAR(m.u_avg, 0.9696, 5e-4);
+  EXPECT_NEAR(m.imbalance, 0.0593, 5e-4);
+}
+
+TEST(PaperExampleTest, AllocationOrderFollowsContributions) {
+  // tau_4 has the dominant contribution (0.56/1.345 at level 2), then
+  // tau_1, tau_2, tau_3, tau_5.
+  const TaskSet ts = make_paper_example();
+  EXPECT_EQ(order_by_contribution(ts),
+            (std::vector<std::size_t>{3, 0, 1, 2, 4}));
+}
+
+TEST(PaperExampleTest, CaTpaPartitionSurvivesRuntimeOverruns) {
+  const TaskSet ts = make_paper_example();
+  const partition::CaTpaPartitioner catpa;
+  const partition::PartitionResult r = catpa.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  for (int scenario_kind = 0; scenario_kind < 3; ++scenario_kind) {
+    const sim::SimResult run = [&] {
+      switch (scenario_kind) {
+        case 0:
+          return simulate(r.partition, sim::FixedLevelScenario(1));
+        case 1:
+          return simulate(r.partition, sim::FixedLevelScenario(2));
+        default:
+          return simulate(r.partition, sim::RandomScenario(9, 0.4));
+      }
+    }();
+    EXPECT_TRUE(run.misses.empty()) << "scenario " << scenario_kind;
+  }
+}
+
+}  // namespace
+}  // namespace mcs

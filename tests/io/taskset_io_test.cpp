@@ -1,0 +1,126 @@
+#include "mcs/io/taskset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::io {
+namespace {
+
+TEST(TasksetIoTest, ParsesBasicFile) {
+  std::istringstream in(R"(# example
+K 2
+task 1 80 15.1 32.4
+task 3 60 22
+)");
+  const TaskSet ts = read_taskset(in);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.num_levels(), 2u);
+  EXPECT_EQ(ts[0].id(), 1u);
+  EXPECT_EQ(ts[0].level(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].wcet(2), 32.4);
+  EXPECT_EQ(ts[1].level(), 1u);
+  EXPECT_DOUBLE_EQ(ts[1].period(), 60.0);
+}
+
+TEST(TasksetIoTest, InfersLevelsWhenKMissing) {
+  std::istringstream in("task 0 10 1 2 3\ntask 1 10 1\n");
+  const TaskSet ts = read_taskset(in);
+  EXPECT_EQ(ts.num_levels(), 3u);
+}
+
+TEST(TasksetIoTest, CommentsAndBlanksIgnored) {
+  std::istringstream in("\n# full comment\nK 2\n\ntask 0 10 2 # inline\n");
+  const TaskSet ts = read_taskset(in);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TasksetIoTest, RoundTripsGeneratedSets) {
+  gen::GenParams params;
+  params.num_levels = 4;
+  params.num_tasks = 30;
+  const TaskSet original = gen::generate_trial(params, 9, 0);
+  std::ostringstream out;
+  write_taskset(out, original);
+  std::istringstream in(out.str());
+  const TaskSet parsed = read_taskset(in);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], original[i]) << i;
+  }
+  EXPECT_EQ(parsed.num_levels(), original.num_levels());
+}
+
+TEST(TasksetIoTest, ErrorsCarryLineNumbers) {
+  std::istringstream bad_directive("K 2\nbogus 1 2\n");
+  try {
+    (void)read_taskset(bad_directive);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TasksetIoTest, RejectsMalformedTasks) {
+  std::istringstream missing_wcet("task 0 10\n");
+  EXPECT_THROW((void)read_taskset(missing_wcet), std::runtime_error);
+  std::istringstream bad_number("task 0 ten 1\n");
+  EXPECT_THROW((void)read_taskset(bad_number), std::runtime_error);
+  std::istringstream decreasing("task 0 10 3 2\n");
+  EXPECT_THROW((void)read_taskset(decreasing), std::runtime_error);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW((void)read_taskset(empty), std::runtime_error);
+}
+
+TEST(TasksetIoTest, RejectsDuplicateTaskIds) {
+  // Partition files bind assignments by task id, so ids must be unique.
+  std::istringstream dup("task 3 10 1\ntask 3 20 2\n");
+  EXPECT_THROW((void)read_taskset(dup), std::runtime_error);
+}
+
+TEST(TasksetIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_taskset("/nonexistent/x.mcs"), std::runtime_error);
+}
+
+TEST(TasksetIoTest, SaveAndLoadFile) {
+  gen::GenParams params;
+  params.num_tasks = 10;
+  const TaskSet ts = gen::generate_trial(params, 10, 0);
+  const std::string path = ::testing::TempDir() + "mcs_io_test.mcs";
+  save_taskset(path, ts);
+  const TaskSet loaded = load_taskset(path);
+  EXPECT_EQ(loaded.size(), ts.size());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, RoundTrip) {
+  std::istringstream in("K 2\ntask 5 10 1 2\ntask 7 20 3\ntask 9 30 4\n");
+  const TaskSet ts = read_taskset(in);
+  Partition p(ts, 2);
+  p.assign(0, 1);
+  p.assign(2, 0);
+  std::ostringstream out;
+  write_partition(out, p);
+  std::istringstream pin(out.str());
+  const Partition parsed = read_partition(pin, ts);
+  EXPECT_EQ(parsed.num_cores(), 2u);
+  EXPECT_EQ(parsed.core_of(0), 1u);
+  EXPECT_EQ(parsed.core_of(1), kUnassigned);
+  EXPECT_EQ(parsed.core_of(2), 0u);
+}
+
+TEST(PartitionIoTest, RejectsUnknownIdsAndBadCores) {
+  std::istringstream in("K 2\ntask 5 10 1 2\n");
+  const TaskSet ts = read_taskset(in);
+  std::istringstream unknown("cores 2\nassign 99 0\n");
+  EXPECT_THROW((void)read_partition(unknown, ts), std::runtime_error);
+  std::istringstream out_of_range("cores 2\nassign 5 7\n");
+  EXPECT_THROW((void)read_partition(out_of_range, ts), std::runtime_error);
+  std::istringstream no_cores("assign 5 0\n");
+  EXPECT_THROW((void)read_partition(no_cores, ts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcs::io

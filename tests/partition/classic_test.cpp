@@ -1,0 +1,149 @@
+#include "mcs/partition/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/analysis/edfvd.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::partition {
+namespace {
+
+/// Single-level tasks with the given utilizations (period 100).
+TaskSet single_level_set(const std::vector<double>& utils) {
+  std::vector<McTask> tasks;
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    tasks.emplace_back(i, std::vector<double>{utils[i] * 100.0}, 100.0);
+  }
+  return TaskSet(std::move(tasks), 1);
+}
+
+// Utilizations chosen so that FFD, BFD and WFD all behave differently:
+// FFD ends with {0.4,0.35,0.1 | 0.3,0.3,0.28}, BFD moves the 0.1 task to
+// the fuller core, and WFD fails outright (see hand trace in the repo's
+// test-design notes).
+const std::vector<double> kDivergingUtils{0.4, 0.35, 0.3, 0.3, 0.28, 0.1};
+
+TEST(ClassicTest, FfdPlacesOnFirstFeasibleCore) {
+  const TaskSet ts = single_level_set(kDivergingUtils);
+  const ClassicPartitioner ffd(FitRule::kFirst);
+  const PartitionResult r = ffd.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.partition.tasks_on(0), (std::vector<std::size_t>{0, 1, 5}));
+  EXPECT_EQ(r.partition.tasks_on(1), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(ClassicTest, BfdPrefersTheFullestFeasibleCore) {
+  const TaskSet ts = single_level_set(kDivergingUtils);
+  const ClassicPartitioner bfd(FitRule::kBest);
+  const PartitionResult r = bfd.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  // The 0.1 task lands on the fuller core 1 (load 0.88 > 0.75).
+  EXPECT_EQ(r.partition.tasks_on(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(r.partition.tasks_on(1), (std::vector<std::size_t>{2, 3, 4, 5}));
+}
+
+TEST(ClassicTest, WfdSpreadsAcrossCores) {
+  const TaskSet ts = single_level_set(kDivergingUtils);
+  const ClassicPartitioner wfd(FitRule::kWorst);
+  const PartitionResult r = wfd.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  // 0.4->c0, 0.35->c1, 0.3->c1, 0.3->c0, 0.28->c1, 0.1->c0.
+  EXPECT_EQ(r.partition.tasks_on(0), (std::vector<std::size_t>{0, 3, 5}));
+  EXPECT_EQ(r.partition.tasks_on(1), (std::vector<std::size_t>{1, 2, 4}));
+}
+
+TEST(ClassicTest, WfdCanFailWherePackingSucceeds) {
+  // {0.6, 0.4 | 0.4, 0.3, 0.3} packs exactly under FFD, but WFD's balancing
+  // leaves no core with room for the final 0.3.
+  const TaskSet ts = single_level_set({0.6, 0.4, 0.4, 0.3, 0.3});
+  const PartitionResult ffd = ClassicPartitioner(FitRule::kFirst).run(ts, 2);
+  EXPECT_TRUE(ffd.success);
+  const PartitionResult wfd = ClassicPartitioner(FitRule::kWorst).run(ts, 2);
+  EXPECT_FALSE(wfd.success);
+  ASSERT_TRUE(wfd.failed_task.has_value());
+  EXPECT_EQ(*wfd.failed_task, 4u);
+}
+
+TEST(ClassicTest, WfdBalancesLoad) {
+  const TaskSet ts = single_level_set({0.4, 0.3, 0.2, 0.1});
+  const ClassicPartitioner wfd(FitRule::kWorst);
+  const PartitionResult r = wfd.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  // 0.4 -> c0, 0.3 -> c1, 0.2 -> c1 (0.3 < 0.4), 0.1 -> c0.
+  EXPECT_EQ(r.partition.tasks_on(0), (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(r.partition.tasks_on(1), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ClassicTest, SortsByMaximumUtilization) {
+  // An MC set where level-1 utils would give a different order than the
+  // max-util key; the biggest max-util task must be placed first (alone it
+  // monopolizes core 0 under FFD).
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{30.0}, 100.0);        // u=0.3
+  tasks.emplace_back(1, std::vector<double>{5.0, 90.0}, 100.0);   // u(2)=0.9
+  const TaskSet ts(std::move(tasks), 2);
+  const ClassicPartitioner ffd(FitRule::kFirst);
+  const PartitionResult r = ffd.run(ts, 2);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.partition.core_of(1), 0u);  // placed first
+}
+
+TEST(ClassicTest, UsesImprovedTestWhenBasicFails) {
+  // One HI-heavy core: U_1(1)=0.4, U_2(1)=0.15, U_2(2)=0.7 fails Eq. (4)
+  // (1.1) but passes Theorem 1 (0.9 <= 1); FFD on one core must succeed.
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{40.0}, 100.0);
+  tasks.emplace_back(1, std::vector<double>{15.0, 70.0}, 100.0);
+  const TaskSet ts(std::move(tasks), 2);
+  const ClassicPartitioner ffd(FitRule::kFirst);
+  const PartitionResult r = ffd.run(ts, 1);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(ClassicTest, ReportsFailure) {
+  const TaskSet ts = single_level_set({0.9, 0.9, 0.9});
+  const ClassicPartitioner ffd(FitRule::kFirst);
+  const PartitionResult r = ffd.run(ts, 2);
+  EXPECT_FALSE(r.success);
+  ASSERT_TRUE(r.failed_task.has_value());
+  EXPECT_EQ(r.partition.assigned_count(), 2u);
+}
+
+TEST(ClassicTest, Names) {
+  EXPECT_EQ(ClassicPartitioner(FitRule::kFirst).name(), "FFD");
+  EXPECT_EQ(ClassicPartitioner(FitRule::kBest).name(), "BFD");
+  EXPECT_EQ(ClassicPartitioner(FitRule::kWorst).name(), "WFD");
+}
+
+// Property: any successful partition must pass the improved test on every
+// core and place every task exactly once.
+class ClassicPropertyTest
+    : public ::testing::TestWithParam<std::tuple<FitRule, std::uint64_t>> {};
+
+TEST_P(ClassicPropertyTest, SuccessfulPartitionsAreFeasibleAndComplete) {
+  const auto [rule, seed] = GetParam();
+  const ClassicPartitioner scheme(rule);
+  gen::GenParams params;
+  params.num_cores = 4;
+  params.nsu = 0.6;
+  params.num_levels = 3;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, seed, trial);
+    const PartitionResult r = scheme.run(ts, params.num_cores);
+    if (!r.success) continue;
+    EXPECT_TRUE(r.partition.complete());
+    for (std::size_t core = 0; core < params.num_cores; ++core) {
+      EXPECT_TRUE(analysis::improved_test(r.partition.utils_on(core)).schedulable)
+          << "core " << core << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RulesAndSeeds, ClassicPropertyTest,
+    ::testing::Combine(::testing::Values(FitRule::kFirst, FitRule::kBest,
+                                         FitRule::kWorst),
+                       ::testing::Values(11u, 22u, 33u)));
+
+}  // namespace
+}  // namespace mcs::partition

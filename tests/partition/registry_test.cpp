@@ -1,0 +1,38 @@
+#include "mcs/partition/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::partition {
+namespace {
+
+TEST(RegistryTest, PaperSchemesLineUpInPaperOrder) {
+  const PartitionerList schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 5u);
+  EXPECT_EQ(schemes[0]->name(), "WFD");
+  EXPECT_EQ(schemes[1]->name(), "FFD");
+  EXPECT_EQ(schemes[2]->name(), "BFD");
+  EXPECT_EQ(schemes[3]->name(), "Hybrid");
+  EXPECT_EQ(schemes[4]->name(), "CA-TPA");
+}
+
+TEST(RegistryTest, AlphaReachesCaTpa) {
+  const PartitionerList schemes = paper_schemes(0.25);
+  const auto* catpa = dynamic_cast<const CaTpaPartitioner*>(schemes[4].get());
+  ASSERT_NE(catpa, nullptr);
+  EXPECT_DOUBLE_EQ(catpa->options().alpha, 0.25);
+}
+
+TEST(RegistryTest, MakeSchemeByName) {
+  for (const char* name : {"WFD", "FFD", "BFD", "Hybrid", "CA-TPA"}) {
+    EXPECT_EQ(make_scheme(name)->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)make_scheme("ZFD"), std::invalid_argument);
+  EXPECT_THROW((void)make_scheme(""), std::invalid_argument);
+  EXPECT_THROW((void)make_scheme("ca-tpa"), std::invalid_argument);  // exact
+}
+
+}  // namespace
+}  // namespace mcs::partition

@@ -1,0 +1,418 @@
+#include "mcs/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcs::sim {
+namespace {
+
+/// Builds a TaskSet + everything-on-one-core Partition pair.  The TaskSet
+/// must outlive the Partition, so both live in this fixture-like holder.
+struct Rig {
+  Rig(std::vector<McTask> tasks, Level levels, std::size_t cores = 1)
+      : ts(std::move(tasks), levels), partition(ts, cores) {}
+
+  void assign_all_to(std::size_t core) {
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, core);
+  }
+
+  TaskSet ts;
+  Partition partition;
+};
+
+TEST(EngineTest, SingleTaskMeetsAllDeadlines) {
+  Rig rig({McTask(0, {5.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r =
+      simulate(rig.partition, nominal, SimConfig{.horizon = 100.0});
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].jobs_completed, 10u);
+  EXPECT_EQ(r.cores[0].jobs_released, 10u);
+  EXPECT_EQ(r.cores[0].mode_switches, 0u);
+  EXPECT_EQ(r.cores[0].max_mode, 1u);
+}
+
+TEST(EngineTest, OverloadedCoreMissesDeadline) {
+  Rig rig({McTask(0, {6.0}, 10.0), McTask(1, {6.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r =
+      simulate(rig.partition, nominal, SimConfig{.horizon = 50.0});
+  ASSERT_TRUE(r.missed_deadline());
+  const DeadlineMiss& miss = r.misses.front();
+  EXPECT_EQ(miss.core, 0u);
+  EXPECT_DOUBLE_EQ(miss.deadline, 10.0);
+  EXPECT_DOUBLE_EQ(miss.detected_at, 10.0);
+}
+
+TEST(EngineTest, ContinuesAfterMissWhenConfigured) {
+  Rig rig({McTask(0, {6.0}, 10.0), McTask(1, {6.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r = simulate(
+      rig.partition, nominal,
+      SimConfig{.horizon = 100.0, .stop_core_on_miss = false});
+  EXPECT_GT(r.misses.size(), 1u);
+}
+
+TEST(EngineTest, OverrunTriggersModeSwitchAndDropsLowJobs) {
+  // HI: c=(2,6), p=10; LO: c=3, p=10.  Theorem 1 holds with the second min
+  // operand, so HI runs against virtual deadline 4 in mode 1.  When HI jobs
+  // run at their level-2 budget, every period sees: switch at +2, LO job
+  // dropped, HI completes at +6 <= 10, idle reset.
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  RecordingTraceSink trace;
+  const SimResult r = simulate(rig.partition, overrun,
+                               SimConfig{.horizon = 100.0}, &trace);
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].mode_switches, 10u);
+  EXPECT_EQ(r.cores[0].jobs_dropped, 10u);
+  EXPECT_EQ(r.cores[0].jobs_completed, 10u);  // only HI jobs finish
+  EXPECT_EQ(r.cores[0].idle_resets, 10u);
+  EXPECT_EQ(r.cores[0].max_mode, 2u);
+
+  // First period's event order: releases at 0, switch at 2, drop, completion
+  // at 6, idle reset.
+  const auto& events = trace.events();
+  const auto switch_it =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.kind == EventKind::kModeSwitch;
+      });
+  ASSERT_NE(switch_it, events.end());
+  EXPECT_DOUBLE_EQ(switch_it->time, 2.0);
+  const auto complete_it =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.kind == EventKind::kComplete;
+      });
+  ASSERT_NE(complete_it, events.end());
+  EXPECT_DOUBLE_EQ(complete_it->time, 6.0);
+  EXPECT_EQ(complete_it->task, 0u);
+}
+
+TEST(EngineTest, ReleasesSuppressedWhileInHighMode) {
+  // LO has period 5, so one LO release falls inside each HI-mode window.
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  const SimResult r =
+      simulate(rig.partition, overrun, SimConfig{.horizon = 100.0});
+  EXPECT_FALSE(r.missed_deadline());
+  // Per period: LO@0 dropped at the switch (t=2), LO@5 suppressed (mode 2
+  // until the idle reset at t=8).
+  EXPECT_EQ(r.cores[0].releases_suppressed, 10u);
+  EXPECT_EQ(r.cores[0].jobs_dropped, 10u);
+}
+
+TEST(EngineTest, EdfVdSurvivesWherePlainEdfMisses) {
+  // LO: c=3.2, p=10 (index 0); HI: c=(2,7), p=10.  Plain EDF ties both
+  // deadlines at 10 and runs the LO task first, pushing the overrunning HI
+  // job to 10.2 > 10.  EDF-VD gives HI virtual deadline 3, so HI runs first,
+  // switches at t=2, and completes at t=7.
+  const auto make_rig = [] {
+    return Rig({McTask(0, {3.2}, 10.0), McTask(1, {2.0, 7.0}, 10.0)}, 2);
+  };
+  const FixedLevelScenario overrun(2);
+
+  Rig vd_rig = make_rig();
+  vd_rig.assign_all_to(0);
+  const SimResult with_vd =
+      simulate(vd_rig.partition, overrun, SimConfig{.horizon = 50.0});
+  EXPECT_FALSE(with_vd.missed_deadline());
+
+  Rig edf_rig = make_rig();
+  edf_rig.assign_all_to(0);
+  const SimResult plain = simulate(
+      edf_rig.partition, overrun,
+      SimConfig{.horizon = 50.0, .use_virtual_deadlines = false});
+  EXPECT_TRUE(plain.missed_deadline());
+  EXPECT_EQ(plain.misses.front().task, 1u);
+}
+
+TEST(EngineTest, NominalBehaviourNeverSwitchesDespiteVirtualDeadlines) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r =
+      simulate(rig.partition, nominal, SimConfig{.horizon = 100.0});
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].mode_switches, 0u);
+  EXPECT_EQ(r.cores[0].jobs_completed, 20u);
+  EXPECT_EQ(r.cores[0].jobs_dropped, 0u);
+}
+
+TEST(EngineTest, CoresAreIndependent) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 10.0)}, 2, 2);
+  rig.partition.assign(0, 0);
+  rig.partition.assign(1, 1);
+  const FixedLevelScenario overrun(2);
+  const SimResult r =
+      simulate(rig.partition, overrun, SimConfig{.horizon = 100.0});
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].mode_switches, 10u);   // HI core switches
+  EXPECT_EQ(r.cores[1].mode_switches, 0u);    // LO core undisturbed
+  EXPECT_EQ(r.cores[1].jobs_completed, 10u);  // LO jobs all complete
+}
+
+TEST(EngineTest, SimulateCoreRunsOnlyThatCore) {
+  Rig rig({McTask(0, {5.0}, 10.0), McTask(1, {5.0}, 10.0)}, 1, 2);
+  rig.partition.assign(0, 0);
+  rig.partition.assign(1, 1);
+  const FixedLevelScenario nominal(1);
+  const SimResult r = simulate_core(rig.partition, 1, nominal,
+                                    SimConfig{.horizon = 100.0});
+  ASSERT_EQ(r.cores.size(), 1u);
+  EXPECT_EQ(r.cores[0].jobs_completed, 10u);
+}
+
+TEST(EngineTest, CascadedSwitchOnEqualConsecutiveBudgets) {
+  // c(1) == c(2) < c(3): exceeding the level-1 budget immediately exhausts
+  // the level-2 budget too, so the core jumps from mode 1 to mode 3.
+  Rig rig({McTask(0, {2.0, 2.0, 6.0}, 10.0)}, 3);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(3);
+  const SimResult r =
+      simulate(rig.partition, overrun, SimConfig{.horizon = 10.0});
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].max_mode, 3u);
+  EXPECT_EQ(r.cores[0].mode_switches, 2u);
+}
+
+TEST(EngineTest, DefaultHorizonIsTwentyMaxPeriods) {
+  Rig rig({McTask(0, {1.0}, 10.0), McTask(1, {1.0}, 25.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r = simulate(rig.partition, nominal);
+  EXPECT_DOUBLE_EQ(r.horizon, 500.0);
+}
+
+TEST(EngineTest, FixedPriorityPreemptsByRate) {
+  // Under deadline-monotonic FP, the p=11 task misses (classic DM anomaly);
+  // under EDF the same workload is schedulable (U = 0.96).
+  const auto make_rig = [] {
+    return Rig({McTask(0, {5.0}, 10.0), McTask(1, {5.1}, 11.0)}, 1);
+  };
+  const FixedLevelScenario nominal(1);
+
+  Rig fp_rig = make_rig();
+  fp_rig.assign_all_to(0);
+  SimConfig fp_config{.horizon = 200.0};
+  fp_config.scheduler = SchedulerKind::kFixedPriority;
+  const SimResult fp = simulate(fp_rig.partition, nominal, fp_config);
+  ASSERT_TRUE(fp.missed_deadline());
+  EXPECT_EQ(fp.misses.front().task, 1u);
+  EXPECT_DOUBLE_EQ(fp.misses.front().deadline, 11.0);
+
+  Rig edf_rig = make_rig();
+  edf_rig.assign_all_to(0);
+  const SimResult edf =
+      simulate(edf_rig.partition, nominal, SimConfig{.horizon = 200.0});
+  EXPECT_FALSE(edf.missed_deadline());
+}
+
+TEST(EngineTest, FixedPriorityAmcModeSwitchStillDropsLowTasks) {
+  // HI overruns under FP: the AMC protocol is scheduler-agnostic.
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 20.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  SimConfig config{.horizon = 100.0};
+  config.scheduler = SchedulerKind::kFixedPriority;
+  const SimResult r = simulate(rig.partition, overrun, config);
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_EQ(r.cores[0].mode_switches, 10u);
+  EXPECT_GT(r.cores[0].jobs_dropped, 0u);
+}
+
+TEST(EngineTest, SporadicJitterDelaysArrivals) {
+  Rig rig({McTask(0, {1.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  SimConfig config{.horizon = 1000.0};
+  config.sporadic_jitter = 0.5;
+  const SimResult sporadic = simulate(rig.partition, nominal, config);
+  const SimResult periodic =
+      simulate(rig.partition, nominal, SimConfig{.horizon = 1000.0});
+  // Periodic: exactly 100 releases; sporadic: strictly fewer (mean
+  // inter-arrival 12.5) but well above the worst-case floor of 66.
+  EXPECT_EQ(periodic.cores[0].jobs_released, 100u);
+  EXPECT_LT(sporadic.cores[0].jobs_released, 100u);
+  EXPECT_GT(sporadic.cores[0].jobs_released, 66u);
+  EXPECT_FALSE(sporadic.missed_deadline());
+}
+
+TEST(EngineTest, SporadicArrivalsAreSeedDeterministic) {
+  Rig rig({McTask(0, {1.0}, 10.0), McTask(1, {2.0}, 15.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  SimConfig config{.horizon = 500.0};
+  config.sporadic_jitter = 0.3;
+  config.arrival_seed = 99;
+  const SimResult a = simulate(rig.partition, nominal, config);
+  const SimResult b = simulate(rig.partition, nominal, config);
+  EXPECT_EQ(a.cores[0].jobs_released, b.cores[0].jobs_released);
+  config.arrival_seed = 100;
+  const SimResult c = simulate(rig.partition, nominal, config);
+  // A different seed shifts at least some arrivals (counts may coincide,
+  // but responses almost surely differ).
+  EXPECT_TRUE(a.tasks[0].sum_response != c.tasks[0].sum_response ||
+              a.cores[0].jobs_released != c.cores[0].jobs_released);
+}
+
+TEST(EngineTest, DegradedServiceKeepsLowTasksRunningAtReducedRate) {
+  // HI: c=(2,6), p=10 overruns every period; LO: c=1, p=5.  Under classic
+  // AMC the LO task gets zero service during the mode-2 window; with a 2x
+  // stretch it keeps releasing (at rate 1/10) and completing.
+  const auto make_rig = [] {
+    return Rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
+  };
+  const FixedLevelScenario overrun(2);
+
+  Rig drop_rig = make_rig();
+  drop_rig.assign_all_to(0);
+  const SimResult dropped =
+      simulate(drop_rig.partition, overrun, SimConfig{.horizon = 200.0});
+
+  Rig stretch_rig = make_rig();
+  stretch_rig.assign_all_to(0);
+  SimConfig config{.horizon = 200.0};
+  config.degraded_period_stretch = 2.0;
+  const SimResult stretched =
+      simulate(stretch_rig.partition, overrun, config);
+
+  EXPECT_FALSE(dropped.missed_deadline());
+  EXPECT_FALSE(stretched.missed_deadline());
+  EXPECT_GT(stretched.tasks[1].completed, dropped.tasks[1].completed);
+  EXPECT_GT(stretched.cores[0].jobs_degraded, 0u);
+  EXPECT_EQ(stretched.cores[0].releases_suppressed, 0u);
+  EXPECT_EQ(dropped.cores[0].jobs_degraded, 0u);
+}
+
+TEST(EngineTest, DegradedJobsUseStretchedDeadlines) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  SimConfig config{.horizon = 40.0};
+  config.degraded_period_stretch = 3.0;
+  RecordingTraceSink trace;
+  const SimResult r = simulate(rig.partition, overrun, config, &trace);
+  EXPECT_FALSE(r.missed_deadline());
+  // Find a degraded release of task 1 (one released while mode 2): its
+  // deadline must be release + 3 * 5.
+  bool found = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kRelease && e.task == 1 && e.mode == 2) {
+      EXPECT_NEAR(e.deadline - e.time, 15.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTest, FixedPriorityWithSporadicArrivalsRunsClean) {
+  // Combined knobs: FP scheduling + sporadic jitter on an AMC-rtb-feasible
+  // pair (R*_c = 36 <= 50 from the amc_rta hand example).
+  Rig rig({McTask(0, {2.0, 4.0}, 10.0), McTask(1, {4.0}, 20.0),
+           McTask(2, {8.0, 16.0}, 50.0)},
+          2);
+  rig.assign_all_to(0);
+  SimConfig config{.horizon = 500.0};
+  config.scheduler = SchedulerKind::kFixedPriority;
+  config.sporadic_jitter = 0.3;
+  const RandomScenario scenario(5, 0.5);
+  const SimResult r = simulate(rig.partition, scenario, config);
+  EXPECT_FALSE(r.missed_deadline());
+  EXPECT_GT(r.cores[0].jobs_completed, 0u);
+}
+
+TEST(EngineTest, DegradedServiceComposesWithEdfVd) {
+  // EDF-VD virtual deadlines plus elastic degradation: Theorem 1 holds for
+  // this pair (U_1(1)+min{0.6, 0.2/0.4} = 0.7), so LO-mode behaviour is
+  // guaranteed; the LO release at t=5 falls inside the mode-2 window [2,6)
+  // each period and is admitted degraded instead of suppressed.
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  SimConfig config{.horizon = 200.0};
+  config.degraded_period_stretch = 3.0;
+  const SimResult r = simulate(rig.partition, overrun, config);
+  EXPECT_EQ(r.tasks[0].missed, 0u);  // the HI task is untouchable
+  EXPECT_GT(r.tasks[1].completed, 0u);
+  EXPECT_GT(r.cores[0].jobs_degraded, 0u);
+}
+
+TEST(EngineTest, PerTaskStatsTrackReleasesAndResponses) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  const SimResult r =
+      simulate(rig.partition, overrun, SimConfig{.horizon = 100.0});
+  ASSERT_EQ(r.tasks.size(), 2u);
+  // HI task: 10 jobs, all complete at t = +6 (it runs alone after the
+  // switch); LO task: 10 releases, all dropped at the switch.
+  EXPECT_EQ(r.tasks[0].released, 10u);
+  EXPECT_EQ(r.tasks[0].completed, 10u);
+  EXPECT_DOUBLE_EQ(r.tasks[0].max_response, 6.0);
+  EXPECT_DOUBLE_EQ(r.tasks[0].mean_response(), 6.0);
+  EXPECT_EQ(r.tasks[1].released, 10u);
+  EXPECT_EQ(r.tasks[1].dropped, 10u);
+  EXPECT_EQ(r.tasks[1].completed, 0u);
+  EXPECT_EQ(r.tasks[1].missed, 0u);
+}
+
+TEST(EngineTest, ModeResidencySumsToHorizon) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {3.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario overrun(2);
+  const SimResult r =
+      simulate(rig.partition, overrun, SimConfig{.horizon = 100.0});
+  ASSERT_EQ(r.cores[0].mode_residency.size(), 2u);
+  EXPECT_NEAR(r.cores[0].mode_residency[0] + r.cores[0].mode_residency[1],
+              100.0, 1e-6);
+  // Each period: mode 2 from the switch at +2 until the idle reset at +6.
+  EXPECT_NEAR(r.cores[0].mode_residency[1], 40.0, 1e-6);
+}
+
+TEST(EngineTest, NominalRunStaysEntirelyInModeOne) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult r =
+      simulate(rig.partition, nominal, SimConfig{.horizon = 50.0});
+  EXPECT_NEAR(r.cores[0].mode_residency[0], 50.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.cores[0].mode_residency[1], 0.0);
+}
+
+class ContractViolatingScenario final : public ExecutionScenario {
+ public:
+  double execution_time(const McTask& task, std::uint64_t) const override {
+    return task.wcet(task.level()) * 2.0;
+  }
+};
+
+TEST(EngineTest, ScenarioContractViolationThrows) {
+  Rig rig({McTask(0, {5.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const ContractViolatingScenario bad;
+  EXPECT_THROW((void)simulate(rig.partition, bad, SimConfig{.horizon = 20.0}),
+               std::logic_error);
+}
+
+TEST(EngineTest, TraceEventsAreTimeOrderedPerCore) {
+  Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
+  rig.assign_all_to(0);
+  const RandomScenario scenario(3, 0.4);
+  RecordingTraceSink trace;
+  (void)simulate(rig.partition, scenario, SimConfig{.horizon = 200.0}, &trace);
+  double last = 0.0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.time, last - 1e-9);
+    last = e.time;
+  }
+  EXPECT_FALSE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,100 @@
+#include "mcs/sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/core/partition.hpp"
+#include "mcs/sim/engine.hpp"
+#include "mcs/sim/global_engine.hpp"
+
+namespace mcs::sim {
+namespace {
+
+TEST(GanttTest, RendersExecutionAndReleases) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(7, std::vector<double>{5.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  RecordingTraceSink trace;
+  const FixedLevelScenario nominal(1);
+  (void)simulate(p, nominal, SimConfig{.horizon = 20.0}, &trace);
+
+  const std::string chart =
+      render_gantt(trace, ts, GanttOptions{.t_end = 20.0, .width = 20});
+  // Row labelled by the task id; busy for the first half of each period.
+  EXPECT_NE(chart.find("tau_7"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('r'), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  // 20 time units over 20 columns: exactly 10 busy columns.
+  const std::string row = chart.substr(chart.find("tau_7"));
+  const std::string cells = row.substr(row.find('|') + 1, 20);
+  EXPECT_EQ(static_cast<int>(std::count(cells.begin(), cells.end(), ' ')), 8)
+      << cells;  // 10 busy + 'r' + '*' markers eat 2 busy/idle cells
+}
+
+TEST(GanttTest, ShowsModeSwitchesAndDrops) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{2.0, 6.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{3.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 2);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  RecordingTraceSink trace;
+  const FixedLevelScenario overrun(2);
+  (void)simulate(p, overrun, SimConfig{.horizon = 10.0}, &trace);
+
+  const std::string chart =
+      render_gantt(trace, ts, GanttOptions{.t_end = 10.0, .width = 40});
+  EXPECT_NE(chart.find('X'), std::string::npos);  // LO job dropped
+  EXPECT_NE(chart.find("core0"), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);  // mode-2 residency
+}
+
+TEST(GanttTest, MissesAreMarked) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{6.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{6.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  RecordingTraceSink trace;
+  const FixedLevelScenario nominal(1);
+  (void)simulate(p, nominal, SimConfig{.horizon = 20.0}, &trace);
+  const std::string chart = render_gantt(trace, ts);
+  EXPECT_NE(chart.find('!'), std::string::npos);
+}
+
+TEST(GanttTest, RendersGlobalEngineTraces) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{8.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{8.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  RecordingTraceSink trace;
+  const FixedLevelScenario nominal(1);
+  (void)simulate_global(ts, 2, nominal, SimConfig{.horizon = 20.0}, &trace);
+  const std::string chart =
+      render_gantt(trace, ts, GanttOptions{.t_end = 20.0, .width = 20});
+  // Both heavy tasks execute in parallel on the two cores: both rows are
+  // essentially solid.
+  EXPECT_NE(chart.find("tau_0"), std::string::npos);
+  EXPECT_NE(chart.find("tau_1"), std::string::npos);
+  std::size_t busy = 0;
+  for (char c : chart) busy += c == '#' ? 1u : 0u;
+  EXPECT_GE(busy, 28u);  // ~16 busy columns per row minus marker cells
+}
+
+TEST(GanttTest, EmptyTraceProducesHeaderOnly) {
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{1.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  const RecordingTraceSink trace;
+  const std::string chart = render_gantt(trace, ts);
+  EXPECT_NE(chart.find("t = ["), std::string::npos);
+  EXPECT_EQ(chart.find("tau_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::sim

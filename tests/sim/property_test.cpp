@@ -1,0 +1,207 @@
+// Property suites tying the analysis to the runtime engine: whenever the
+// EDF-VD schedulability analysis accepts a partition, the engine must
+// observe zero deadline misses under any execution scenario it generates.
+#include <gtest/gtest.h>
+
+#include "mcs/analysis/edfvd.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/partition/catpa.hpp"
+#include "mcs/partition/fp_amc.hpp"
+#include "mcs/sim/engine.hpp"
+
+namespace mcs::sim {
+namespace {
+
+gen::GenParams small_period_params(Level levels, std::size_t cores,
+                                   double nsu) {
+  gen::GenParams p;
+  p.num_levels = levels;
+  p.num_cores = cores;
+  p.nsu = nsu;
+  p.num_tasks = 10 * cores;
+  // Short periods keep the 20x-max-period horizon cheap while still covering
+  // dozens of hyper-period-ish windows.
+  p.period_classes = {{{10.0, 40.0}, {20.0, 60.0}, {40.0, 80.0}}};
+  return p;
+}
+
+void expect_no_miss(const Partition& partition,
+                    const ExecutionScenario& scenario, const char* label,
+                    std::uint64_t trial) {
+  const SimResult r = simulate(partition, scenario);
+  EXPECT_TRUE(r.misses.empty())
+      << label << " trial " << trial << ": task " << r.misses.front().task
+      << " missed at t=" << r.misses.front().detected_at << " (deadline "
+      << r.misses.front().deadline << ", mode "
+      << static_cast<int>(r.misses.front().mode) << ")";
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Dual-criticality: a CA-TPA-accepted partition must never miss, whatever
+// the jobs do (nominal, full overrun, or randomized escalation).
+TEST_P(SimPropertyTest, DualCriticalityAcceptedPartitionsNeverMiss) {
+  const gen::GenParams params = small_period_params(2, 2, 0.55);
+  const partition::CaTpaPartitioner catpa;
+  std::size_t accepted = 0;
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam(), trial);
+    const partition::PartitionResult pr = catpa.run(ts, params.num_cores);
+    if (!pr.success) continue;
+    ++accepted;
+    expect_no_miss(pr.partition, FixedLevelScenario(1), "nominal", trial);
+    expect_no_miss(pr.partition, FixedLevelScenario(2), "overrun", trial);
+    expect_no_miss(pr.partition, RandomScenario(trial * 31 + 7, 0.3),
+                   "random", trial);
+  }
+  EXPECT_GT(accepted, 5u) << "workload too hard; property undertested";
+}
+
+// Multi-level: same property at K = 3..5 with EDF-VD deadlines.
+TEST_P(SimPropertyTest, MultiLevelAcceptedPartitionsNeverMiss) {
+  for (Level K = 3; K <= 5; ++K) {
+    const gen::GenParams params = small_period_params(K, 2, 0.4);
+    const partition::CaTpaPartitioner catpa;
+    std::size_t accepted = 0;
+    for (std::uint64_t trial = 0; trial < 15; ++trial) {
+      const TaskSet ts =
+          gen::generate_trial(params, GetParam() * 131 + K, trial);
+      const partition::PartitionResult pr = catpa.run(ts, params.num_cores);
+      if (!pr.success) continue;
+      ++accepted;
+      expect_no_miss(pr.partition, FixedLevelScenario(K), "full-overrun",
+                     trial);
+      expect_no_miss(pr.partition, RandomScenario(trial * 17 + K, 0.5),
+                     "random", trial);
+    }
+    EXPECT_GT(accepted, 2u) << "K=" << static_cast<int>(K);
+  }
+}
+
+// Fixed-priority: partitions accepted by the FP-AMC scheme (AMC-rtb on
+// every core) must never miss under the fixed-priority AMC engine.
+TEST_P(SimPropertyTest, FpAmcAcceptedPartitionsNeverMiss) {
+  const gen::GenParams params = small_period_params(2, 2, 0.45);
+  const partition::FpAmcPartitioner fp;
+  std::size_t accepted = 0;
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 70, trial);
+    const partition::PartitionResult pr = fp.run(ts, params.num_cores);
+    if (!pr.success) continue;
+    ++accepted;
+    SimConfig config;
+    config.scheduler = SchedulerKind::kFixedPriority;
+    for (int kind = 0; kind < 3; ++kind) {
+      const SimResult r = [&] {
+        switch (kind) {
+          case 0:
+            return simulate(pr.partition, FixedLevelScenario(1), config);
+          case 1:
+            return simulate(pr.partition, FixedLevelScenario(2), config);
+          default:
+            return simulate(pr.partition,
+                            RandomScenario(trial * 13 + 1, 0.4), config);
+        }
+      }();
+      EXPECT_TRUE(r.misses.empty())
+          << "trial " << trial << " scenario " << kind;
+    }
+  }
+  EXPECT_GT(accepted, 3u);
+}
+
+// Plain-EDF reference: when Eq. (4) holds for a core, scheduling with
+// original deadlines can never miss regardless of scenario (every task is
+// reserved at its own-level WCET).
+TEST_P(SimPropertyTest, BasicTestImpliesPlainEdfCorrectness) {
+  const gen::GenParams params = small_period_params(4, 1, 0.35);
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 500, trial);
+    if (!analysis::basic_test(ts.utils())) continue;
+    Partition partition(ts, 1);
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, 0);
+    const RandomScenario scenario(trial, 0.6);
+    const SimResult r =
+        simulate(partition, scenario,
+                 SimConfig{.use_virtual_deadlines = false});
+    EXPECT_TRUE(r.misses.empty()) << "trial " << trial;
+  }
+}
+
+// Sporadic arrivals: every analysis in the library is a sporadic-task
+// analysis, so accepted partitions must also survive release jitter.
+TEST_P(SimPropertyTest, AcceptedPartitionsSurviveSporadicArrivals) {
+  const gen::GenParams params = small_period_params(2, 2, 0.5);
+  const partition::CaTpaPartitioner catpa;
+  std::size_t accepted = 0;
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 40, trial);
+    const partition::PartitionResult pr = catpa.run(ts, params.num_cores);
+    if (!pr.success) continue;
+    ++accepted;
+    for (double jitter : {0.1, 0.5, 1.0}) {
+      SimConfig config;
+      config.sporadic_jitter = jitter;
+      config.arrival_seed = trial * 7 + 5;
+      const SimResult r =
+          simulate(pr.partition, RandomScenario(trial, 0.4), config);
+      EXPECT_TRUE(r.misses.empty())
+          << "trial " << trial << " jitter " << jitter;
+    }
+  }
+  EXPECT_GT(accepted, 3u);
+}
+
+// Elastic degraded service: when Eq. (4) holds, plain EDF with any period
+// stretch is sound — degraded tasks are just slower implicit-deadline
+// sporadic tasks, so total utilization stays within 1 (see engine.hpp).
+TEST_P(SimPropertyTest, BasicTestImpliesDegradedServiceCorrectness) {
+  const gen::GenParams params = small_period_params(3, 1, 0.35);
+  std::size_t accepted = 0;
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 600, trial);
+    if (!analysis::basic_test(ts.utils())) continue;
+    ++accepted;
+    Partition partition(ts, 1);
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, 0);
+    for (double stretch : {1.5, 2.0, 4.0}) {
+      SimConfig config;
+      config.use_virtual_deadlines = false;
+      config.degraded_period_stretch = stretch;
+      const SimResult r =
+          simulate(partition, RandomScenario(trial, 0.7), config);
+      EXPECT_TRUE(r.misses.empty())
+          << "trial " << trial << " stretch " << stretch;
+    }
+  }
+  EXPECT_GT(accepted, 2u);
+}
+
+// Mode-switch bookkeeping invariants on arbitrary (even infeasible)
+// workloads: the engine must never crash, modes stay within [1, K], and
+// drops/suppressions only happen when switches happened.
+TEST_P(SimPropertyTest, EngineInvariantsOnArbitraryWorkloads) {
+  const gen::GenParams params = small_period_params(4, 2, 0.9);
+  for (std::uint64_t trial = 0; trial < 15; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, GetParam() + 900, trial);
+    Partition partition(ts, 2);
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, i % 2);
+    const RandomScenario scenario(trial, 0.5);
+    const SimResult r = simulate(
+        partition, scenario, SimConfig{.stop_core_on_miss = false});
+    for (const CoreStats& c : r.cores) {
+      EXPECT_GE(c.max_mode, 1u);
+      EXPECT_LE(c.max_mode, 4u);
+      if (c.jobs_dropped > 0 || c.releases_suppressed > 0) {
+        EXPECT_GT(c.mode_switches, 0u);
+      }
+      EXPECT_LE(c.jobs_completed + c.jobs_dropped, c.jobs_released);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimPropertyTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,97 @@
+#include "mcs/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+const McTask kTask(3, {2.0, 5.0, 8.0}, 20.0);
+
+TEST(FixedLevelScenarioTest, RunsExactlyAtLevelBudget) {
+  const FixedLevelScenario s1(1);
+  const FixedLevelScenario s2(2);
+  const FixedLevelScenario s3(3);
+  EXPECT_DOUBLE_EQ(s1.execution_time(kTask, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s2.execution_time(kTask, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s3.execution_time(kTask, 0), 8.0);
+}
+
+TEST(FixedLevelScenarioTest, LevelClampsToTaskLevel) {
+  const FixedLevelScenario s6(6);
+  EXPECT_DOUBLE_EQ(s6.execution_time(kTask, 0), 8.0);
+  const McTask lo(0, {1.0}, 10.0);
+  EXPECT_DOUBLE_EQ(s6.execution_time(lo, 0), 1.0);
+}
+
+TEST(FixedLevelScenarioTest, FractionScales) {
+  const FixedLevelScenario s(2, 0.5);
+  EXPECT_DOUBLE_EQ(s.execution_time(kTask, 0), 2.5);
+}
+
+TEST(FixedLevelScenarioTest, RejectsBadArguments) {
+  EXPECT_THROW(FixedLevelScenario(0), std::invalid_argument);
+  EXPECT_THROW(FixedLevelScenario(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(FixedLevelScenario(1, 1.5), std::invalid_argument);
+}
+
+TEST(RandomScenarioTest, StaysWithinContract) {
+  const RandomScenario s(42, 0.5);
+  for (std::uint64_t job = 0; job < 2000; ++job) {
+    const double e = s.execution_time(kTask, job);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 8.0);
+  }
+}
+
+TEST(RandomScenarioTest, DeterministicPerJob) {
+  const RandomScenario a(42, 0.5);
+  const RandomScenario b(42, 0.5);
+  for (std::uint64_t job = 0; job < 50; ++job) {
+    EXPECT_DOUBLE_EQ(a.execution_time(kTask, job),
+                     b.execution_time(kTask, job));
+  }
+}
+
+TEST(RandomScenarioTest, IndependentOfQueryOrder) {
+  const RandomScenario s(7, 0.4);
+  const double e5 = s.execution_time(kTask, 5);
+  (void)s.execution_time(kTask, 0);
+  (void)s.execution_time(kTask, 9);
+  EXPECT_DOUBLE_EQ(s.execution_time(kTask, 5), e5);
+}
+
+TEST(RandomScenarioTest, ZeroEscalationStaysAtLevelOne) {
+  const RandomScenario s(11, 0.0);
+  for (std::uint64_t job = 0; job < 500; ++job) {
+    EXPECT_LE(s.execution_time(kTask, job), 2.0);
+  }
+}
+
+TEST(RandomScenarioTest, FullEscalationExceedsLowBudget) {
+  const RandomScenario s(12, 1.0);
+  for (std::uint64_t job = 0; job < 500; ++job) {
+    const double e = s.execution_time(kTask, job);
+    EXPECT_GT(e, 5.0);  // always escalates to level 3: e in (c(2), c(3)]
+    EXPECT_LE(e, 8.0);
+  }
+}
+
+TEST(RandomScenarioTest, EscalationProbabilityRoughlyHolds) {
+  const RandomScenario s(13, 0.3);
+  int overruns = 0;
+  constexpr int kN = 20000;
+  for (int job = 0; job < kN; ++job) {
+    if (s.execution_time(kTask, static_cast<std::uint64_t>(job)) > 2.0) {
+      ++overruns;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(overruns) / kN, 0.3, 0.02);
+}
+
+TEST(RandomScenarioTest, RejectsBadProbability) {
+  EXPECT_THROW(RandomScenario(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(RandomScenario(1, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::sim

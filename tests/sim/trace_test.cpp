@@ -1,0 +1,69 @@
+#include "mcs/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/core/partition.hpp"
+#include "mcs/sim/engine.hpp"
+
+namespace mcs::sim {
+namespace {
+
+TEST(TraceTest, EventKindNames) {
+  EXPECT_STREQ(to_string(EventKind::kRelease), "release");
+  EXPECT_STREQ(to_string(EventKind::kReleaseSuppressed),
+               "release-suppressed");
+  EXPECT_STREQ(to_string(EventKind::kComplete), "complete");
+  EXPECT_STREQ(to_string(EventKind::kModeSwitch), "MODE-SWITCH");
+  EXPECT_STREQ(to_string(EventKind::kJobDropped), "job-dropped");
+  EXPECT_STREQ(to_string(EventKind::kDeadlineMiss), "DEADLINE-MISS");
+  EXPECT_STREQ(to_string(EventKind::kIdleReset), "idle-reset");
+  EXPECT_STREQ(to_string(EventKind::kExecute), "execute");
+}
+
+TEST(TraceTest, StreamSinkFormatsEvents) {
+  std::ostringstream os;
+  StreamTraceSink sink(os);
+  sink.on_event(TraceEvent{.time = 1.5,
+                           .core = 2,
+                           .kind = EventKind::kRelease,
+                           .task = 3,
+                           .job = 4,
+                           .mode = 1,
+                           .deadline = 11.5});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("core 2"), std::string::npos);
+  EXPECT_NE(out.find("release"), std::string::npos);
+  EXPECT_NE(out.find("task 3 job 4"), std::string::npos);
+  EXPECT_NE(out.find("deadline 11.5"), std::string::npos);
+}
+
+TEST(TraceTest, StreamSinkSkipsExecuteEvents) {
+  std::ostringstream os;
+  StreamTraceSink sink(os);
+  sink.on_event(TraceEvent{.kind = EventKind::kExecute});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TraceTest, ExecuteSegmentsCoverBusyTime) {
+  // The sum of kExecute segment lengths must equal total execution demand.
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{4.0}, 10.0);
+  tasks.emplace_back(1, std::vector<double>{3.0}, 10.0);
+  const TaskSet ts(std::move(tasks), 1);
+  Partition p(ts, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  RecordingTraceSink trace;
+  const FixedLevelScenario nominal(1);
+  (void)simulate(p, nominal, SimConfig{.horizon = 100.0}, &trace);
+  double busy = 0.0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kExecute) busy += e.until - e.time;
+  }
+  EXPECT_NEAR(busy, 10.0 * 7.0, 1e-6);  // 10 periods x (4 + 3)
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,83 @@
+#include "mcs/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcs::util {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  const Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.5);
+  EXPECT_DOUBLE_EQ(w.max(), 3.5);
+}
+
+TEST(WelfordTest, KnownMeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance of this classic data set: 32 / 7.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  Welford all;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptyIsNoop) {
+  Welford a;
+  a.add(1.0);
+  a.add(2.0);
+  const Welford before = a;
+  a.merge(Welford{});
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+  Welford empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+void fill_cyclic(Welford& w, int n) {
+  for (int i = 0; i < n; ++i) w.add((i % 7) * 1.0);
+}
+
+TEST(WelfordTest, Ci95ShrinksWithSamples) {
+  Welford small;
+  Welford large;
+  fill_cyclic(small, 10);
+  fill_cyclic(large, 1000);
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+}  // namespace
+}  // namespace mcs::util

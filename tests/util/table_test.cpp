@@ -1,0 +1,62 @@
+#include "mcs/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace mcs::util {
+namespace {
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 4), "1.0000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDoubleTest, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity(), 2), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity(), 2),
+            "-inf");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN(), 2), "nan");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add_cell("alpha");
+  t.add_cell(std::size_t{7});
+  t.begin_row();
+  t.add_cell("b");
+  t.add_cell(0.125, 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  7"), std::string::npos);
+  EXPECT_NE(out.find("b      0.125"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.begin_row();
+  t.add_cell("only");
+  std::ostringstream os;
+  t.print(os);  // must not crash; remaining cells blank
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.begin_row();
+  t.add_cell("1");
+  t.begin_row();
+  t.add_cell("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_imbalance"
+  "../bench/bench_ablation_imbalance.pdb"
+  "CMakeFiles/bench_ablation_imbalance.dir/bench_ablation_imbalance.cpp.o"
+  "CMakeFiles/bench_ablation_imbalance.dir/bench_ablation_imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_probe_policy"
+  "../bench/bench_ablation_probe_policy.pdb"
+  "CMakeFiles/bench_ablation_probe_policy.dir/bench_ablation_probe_policy.cpp.o"
+  "CMakeFiles/bench_ablation_probe_policy.dir/bench_ablation_probe_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

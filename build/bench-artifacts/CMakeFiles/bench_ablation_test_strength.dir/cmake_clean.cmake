@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_test_strength"
+  "../bench/bench_ablation_test_strength.pdb"
+  "CMakeFiles/bench_ablation_test_strength.dir/bench_ablation_test_strength.cpp.o"
+  "CMakeFiles/bench_ablation_test_strength.dir/bench_ablation_test_strength.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_test_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

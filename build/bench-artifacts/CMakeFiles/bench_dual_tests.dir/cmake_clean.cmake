@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dual_tests"
+  "../bench/bench_dual_tests.pdb"
+  "CMakeFiles/bench_dual_tests.dir/bench_dual_tests.cpp.o"
+  "CMakeFiles/bench_dual_tests.dir/bench_dual_tests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

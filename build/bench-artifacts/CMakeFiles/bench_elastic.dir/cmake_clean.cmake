@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_elastic"
+  "../bench/bench_elastic.pdb"
+  "CMakeFiles/bench_elastic.dir/bench_elastic.cpp.o"
+  "CMakeFiles/bench_elastic.dir/bench_elastic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

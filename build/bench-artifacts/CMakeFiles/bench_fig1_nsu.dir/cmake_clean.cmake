@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_nsu"
+  "../bench/bench_fig1_nsu.pdb"
+  "CMakeFiles/bench_fig1_nsu.dir/bench_fig1_nsu.cpp.o"
+  "CMakeFiles/bench_fig1_nsu.dir/bench_fig1_nsu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_nsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

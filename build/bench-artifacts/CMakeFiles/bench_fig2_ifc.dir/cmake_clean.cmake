@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_ifc"
+  "../bench/bench_fig2_ifc.pdb"
+  "CMakeFiles/bench_fig2_ifc.dir/bench_fig2_ifc.cpp.o"
+  "CMakeFiles/bench_fig2_ifc.dir/bench_fig2_ifc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ifc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_cores"
+  "../bench/bench_fig4_cores.pdb"
+  "CMakeFiles/bench_fig4_cores.dir/bench_fig4_cores.cpp.o"
+  "CMakeFiles/bench_fig4_cores.dir/bench_fig4_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_levels"
+  "../bench/bench_fig5_levels.pdb"
+  "CMakeFiles/bench_fig5_levels.dir/bench_fig5_levels.cpp.o"
+  "CMakeFiles/bench_fig5_levels.dir/bench_fig5_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fp_vs_edfvd"
+  "../bench/bench_fp_vs_edfvd.pdb"
+  "CMakeFiles/bench_fp_vs_edfvd.dir/bench_fp_vs_edfvd.cpp.o"
+  "CMakeFiles/bench_fp_vs_edfvd.dir/bench_fp_vs_edfvd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_vs_edfvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_global"
+  "../bench/bench_global.pdb"
+  "CMakeFiles/bench_global.dir/bench_global.cpp.o"
+  "CMakeFiles/bench_global.dir/bench_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

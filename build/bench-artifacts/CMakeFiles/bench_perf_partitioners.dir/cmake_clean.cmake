@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_partitioners"
+  "../bench/bench_perf_partitioners.pdb"
+  "CMakeFiles/bench_perf_partitioners.dir/bench_perf_partitioners.cpp.o"
+  "CMakeFiles/bench_perf_partitioners.dir/bench_perf_partitioners.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

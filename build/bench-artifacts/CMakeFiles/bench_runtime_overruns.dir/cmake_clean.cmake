@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_runtime_overruns"
+  "../bench/bench_runtime_overruns.pdb"
+  "CMakeFiles/bench_runtime_overruns.dir/bench_runtime_overruns.cpp.o"
+  "CMakeFiles/bench_runtime_overruns.dir/bench_runtime_overruns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_overruns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

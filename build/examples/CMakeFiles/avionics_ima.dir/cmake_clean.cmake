@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_ima.dir/avionics_ima.cpp.o"
+  "CMakeFiles/avionics_ima.dir/avionics_ima.cpp.o.d"
+  "avionics_ima"
+  "avionics_ima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_cores.dir/min_cores.cpp.o"
+  "CMakeFiles/min_cores.dir/min_cores.cpp.o.d"
+  "min_cores"
+  "min_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_trace.dir/runtime_trace.cpp.o"
+  "CMakeFiles/runtime_trace.dir/runtime_trace.cpp.o.d"
+  "runtime_trace"
+  "runtime_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskset_tool.dir/taskset_tool.cpp.o"
+  "CMakeFiles/taskset_tool.dir/taskset_tool.cpp.o.d"
+  "taskset_tool"
+  "taskset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

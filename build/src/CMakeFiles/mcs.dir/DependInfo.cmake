@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcs/analysis/amc_rta.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/amc_rta.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/amc_rta.cpp.o.d"
+  "/root/repo/src/mcs/analysis/core_util.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/core_util.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/core_util.cpp.o.d"
+  "/root/repo/src/mcs/analysis/dbf.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/dbf.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/dbf.cpp.o.d"
+  "/root/repo/src/mcs/analysis/edfvd.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/edfvd.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/edfvd.cpp.o.d"
+  "/root/repo/src/mcs/analysis/global.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/global.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/global.cpp.o.d"
+  "/root/repo/src/mcs/analysis/metrics.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/metrics.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/metrics.cpp.o.d"
+  "/root/repo/src/mcs/analysis/vdeadlines.cpp" "src/CMakeFiles/mcs.dir/mcs/analysis/vdeadlines.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/analysis/vdeadlines.cpp.o.d"
+  "/root/repo/src/mcs/core/contributions.cpp" "src/CMakeFiles/mcs.dir/mcs/core/contributions.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/core/contributions.cpp.o.d"
+  "/root/repo/src/mcs/core/partition.cpp" "src/CMakeFiles/mcs.dir/mcs/core/partition.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/core/partition.cpp.o.d"
+  "/root/repo/src/mcs/core/task.cpp" "src/CMakeFiles/mcs.dir/mcs/core/task.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/core/task.cpp.o.d"
+  "/root/repo/src/mcs/core/taskset.cpp" "src/CMakeFiles/mcs.dir/mcs/core/taskset.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/core/taskset.cpp.o.d"
+  "/root/repo/src/mcs/exp/montecarlo.cpp" "src/CMakeFiles/mcs.dir/mcs/exp/montecarlo.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/exp/montecarlo.cpp.o.d"
+  "/root/repo/src/mcs/exp/report.cpp" "src/CMakeFiles/mcs.dir/mcs/exp/report.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/exp/report.cpp.o.d"
+  "/root/repo/src/mcs/exp/sweep.cpp" "src/CMakeFiles/mcs.dir/mcs/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/exp/sweep.cpp.o.d"
+  "/root/repo/src/mcs/gen/rng.cpp" "src/CMakeFiles/mcs.dir/mcs/gen/rng.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/gen/rng.cpp.o.d"
+  "/root/repo/src/mcs/gen/taskset_generator.cpp" "src/CMakeFiles/mcs.dir/mcs/gen/taskset_generator.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/gen/taskset_generator.cpp.o.d"
+  "/root/repo/src/mcs/io/taskset_io.cpp" "src/CMakeFiles/mcs.dir/mcs/io/taskset_io.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/io/taskset_io.cpp.o.d"
+  "/root/repo/src/mcs/partition/catpa.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/catpa.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/catpa.cpp.o.d"
+  "/root/repo/src/mcs/partition/classic.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/classic.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/classic.cpp.o.d"
+  "/root/repo/src/mcs/partition/dbf_ffd.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/dbf_ffd.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/dbf_ffd.cpp.o.d"
+  "/root/repo/src/mcs/partition/fp_amc.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/fp_amc.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/fp_amc.cpp.o.d"
+  "/root/repo/src/mcs/partition/hybrid.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/hybrid.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/hybrid.cpp.o.d"
+  "/root/repo/src/mcs/partition/partitioner.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/partitioner.cpp.o.d"
+  "/root/repo/src/mcs/partition/registry.cpp" "src/CMakeFiles/mcs.dir/mcs/partition/registry.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/partition/registry.cpp.o.d"
+  "/root/repo/src/mcs/sim/engine.cpp" "src/CMakeFiles/mcs.dir/mcs/sim/engine.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/sim/engine.cpp.o.d"
+  "/root/repo/src/mcs/sim/gantt.cpp" "src/CMakeFiles/mcs.dir/mcs/sim/gantt.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/sim/gantt.cpp.o.d"
+  "/root/repo/src/mcs/sim/global_engine.cpp" "src/CMakeFiles/mcs.dir/mcs/sim/global_engine.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/sim/global_engine.cpp.o.d"
+  "/root/repo/src/mcs/sim/scenario.cpp" "src/CMakeFiles/mcs.dir/mcs/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/sim/scenario.cpp.o.d"
+  "/root/repo/src/mcs/sim/trace.cpp" "src/CMakeFiles/mcs.dir/mcs/sim/trace.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/sim/trace.cpp.o.d"
+  "/root/repo/src/mcs/util/cli.cpp" "src/CMakeFiles/mcs.dir/mcs/util/cli.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/util/cli.cpp.o.d"
+  "/root/repo/src/mcs/util/csv.cpp" "src/CMakeFiles/mcs.dir/mcs/util/csv.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/util/csv.cpp.o.d"
+  "/root/repo/src/mcs/util/stats.cpp" "src/CMakeFiles/mcs.dir/mcs/util/stats.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/util/stats.cpp.o.d"
+  "/root/repo/src/mcs/util/table.cpp" "src/CMakeFiles/mcs.dir/mcs/util/table.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/util/table.cpp.o.d"
+  "/root/repo/src/mcs/util/thread_pool.cpp" "src/CMakeFiles/mcs.dir/mcs/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mcs.dir/mcs/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

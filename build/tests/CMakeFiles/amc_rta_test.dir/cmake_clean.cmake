@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amc_rta_test.dir/analysis/amc_rta_test.cpp.o"
+  "CMakeFiles/amc_rta_test.dir/analysis/amc_rta_test.cpp.o.d"
+  "amc_rta_test"
+  "amc_rta_test.pdb"
+  "amc_rta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amc_rta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for amc_rta_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catpa_test.dir/partition/catpa_test.cpp.o"
+  "CMakeFiles/catpa_test.dir/partition/catpa_test.cpp.o.d"
+  "catpa_test"
+  "catpa_test.pdb"
+  "catpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

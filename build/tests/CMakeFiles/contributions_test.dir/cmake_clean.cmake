@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contributions_test.dir/core/contributions_test.cpp.o"
+  "CMakeFiles/contributions_test.dir/core/contributions_test.cpp.o.d"
+  "contributions_test"
+  "contributions_test.pdb"
+  "contributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

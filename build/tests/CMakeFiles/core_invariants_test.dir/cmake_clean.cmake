@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_invariants_test.dir/core/invariants_test.cpp.o"
+  "CMakeFiles/core_invariants_test.dir/core/invariants_test.cpp.o.d"
+  "core_invariants_test"
+  "core_invariants_test.pdb"
+  "core_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_util_test.dir/analysis/core_util_test.cpp.o"
+  "CMakeFiles/core_util_test.dir/analysis/core_util_test.cpp.o.d"
+  "core_util_test"
+  "core_util_test.pdb"
+  "core_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

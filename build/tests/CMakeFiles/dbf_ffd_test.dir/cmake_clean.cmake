@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbf_ffd_test.dir/partition/dbf_ffd_test.cpp.o"
+  "CMakeFiles/dbf_ffd_test.dir/partition/dbf_ffd_test.cpp.o.d"
+  "dbf_ffd_test"
+  "dbf_ffd_test.pdb"
+  "dbf_ffd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbf_ffd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbf_test.dir/analysis/dbf_test.cpp.o"
+  "CMakeFiles/dbf_test.dir/analysis/dbf_test.cpp.o.d"
+  "dbf_test"
+  "dbf_test.pdb"
+  "dbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

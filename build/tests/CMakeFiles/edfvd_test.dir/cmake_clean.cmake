@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edfvd_test.dir/analysis/edfvd_test.cpp.o"
+  "CMakeFiles/edfvd_test.dir/analysis/edfvd_test.cpp.o.d"
+  "edfvd_test"
+  "edfvd_test.pdb"
+  "edfvd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edfvd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_amc_test.dir/partition/fp_amc_test.cpp.o"
+  "CMakeFiles/fp_amc_test.dir/partition/fp_amc_test.cpp.o.d"
+  "fp_amc_test"
+  "fp_amc_test.pdb"
+  "fp_amc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_amc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_test.dir/sim/gantt_test.cpp.o"
+  "CMakeFiles/gantt_test.dir/sim/gantt_test.cpp.o.d"
+  "gantt_test"
+  "gantt_test.pdb"
+  "gantt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

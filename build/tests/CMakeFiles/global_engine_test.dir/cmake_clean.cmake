@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_engine_test.dir/sim/global_engine_test.cpp.o"
+  "CMakeFiles/global_engine_test.dir/sim/global_engine_test.cpp.o.d"
+  "global_engine_test"
+  "global_engine_test.pdb"
+  "global_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

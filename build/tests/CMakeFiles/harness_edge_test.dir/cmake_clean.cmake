@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_edge_test.dir/exp/harness_edge_test.cpp.o"
+  "CMakeFiles/harness_edge_test.dir/exp/harness_edge_test.cpp.o.d"
+  "harness_edge_test"
+  "harness_edge_test.pdb"
+  "harness_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_test.dir/exp/montecarlo_test.cpp.o"
+  "CMakeFiles/montecarlo_test.dir/exp/montecarlo_test.cpp.o.d"
+  "montecarlo_test"
+  "montecarlo_test.pdb"
+  "montecarlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

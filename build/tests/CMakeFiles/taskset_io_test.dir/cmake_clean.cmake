@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskset_io_test.dir/io/taskset_io_test.cpp.o"
+  "CMakeFiles/taskset_io_test.dir/io/taskset_io_test.cpp.o.d"
+  "taskset_io_test"
+  "taskset_io_test.pdb"
+  "taskset_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskset_test.dir/core/taskset_test.cpp.o"
+  "CMakeFiles/taskset_test.dir/core/taskset_test.cpp.o.d"
+  "taskset_test"
+  "taskset_test.pdb"
+  "taskset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

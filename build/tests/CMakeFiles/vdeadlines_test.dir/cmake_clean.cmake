@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdeadlines_test.dir/analysis/vdeadlines_test.cpp.o"
+  "CMakeFiles/vdeadlines_test.dir/analysis/vdeadlines_test.cpp.o.d"
+  "vdeadlines_test"
+  "vdeadlines_test.pdb"
+  "vdeadlines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdeadlines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

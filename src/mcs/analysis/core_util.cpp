@@ -11,13 +11,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double core_utilization(const Theorem1Result& result, ProbePolicy policy) {
   if (!result.schedulable) return kInf;
-  if (result.avail.empty()) {
-    // K == 1: the improved test degenerates to plain EDF; treat U_1(1) as
-    // the utilization.  theta/mu are not populated, so reconstruct from the
-    // schedulability flag alone: the caller should prefer the UtilMatrix
-    // overload for K == 1 (it reports the exact value).
-    return 0.0;
-  }
+  // improved_test always records at least one condition (K == 1 gets a
+  // pseudo-condition with A(1) = 1 - U_1(1)); an empty avail can only come
+  // from a hand-built result, where no usable condition means no capacity.
+  if (result.avail.empty()) return kInf;
   if (policy == ProbePolicy::kFirstFeasible) {
     // best_k is the smallest feasible condition index (1-based).
     return 1.0 - result.avail[result.best_k - 1];
@@ -45,6 +42,18 @@ double core_utilization(const UtilMatrix& core, ProbePolicy policy) {
     return u <= 1.0 ? u : kInf;
   }
   return core_utilization(improved_test(core), policy);
+}
+
+double core_utilization(const UtilMatrix& core, Theorem1Result& scratch,
+                        ProbePolicy policy) {
+  if (core.num_levels() == 1) {
+    // Same K == 1 fast path as above: report U_1(1) exactly (the folded
+    // 1 - A(1) is equal only up to rounding).
+    const double u = core.level_util(1, 1);
+    return u <= 1.0 ? u : kInf;
+  }
+  improved_test(core, scratch);
+  return core_utilization(scratch, policy);
 }
 
 ProbeResult probe_assignment(const Partition& partition, std::size_t task_index,

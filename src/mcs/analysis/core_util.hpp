@@ -30,7 +30,9 @@ enum class ProbePolicy {
 };
 
 /// Core utilization of an already-computed Theorem-1 result.  Returns
-/// +infinity when the subset is infeasible under the improved test.
+/// +infinity when the subset is infeasible under the improved test.  For
+/// K == 1, improved_test records a pseudo-condition with A(1) = 1 - U_1(1),
+/// so this reports the true utilization at every K.
 [[nodiscard]] double core_utilization(
     const Theorem1Result& result,
     ProbePolicy policy = ProbePolicy::kMinOverFeasible);
@@ -38,6 +40,12 @@ enum class ProbePolicy {
 /// Convenience: run the improved test on `core` and fold to a utilization.
 [[nodiscard]] double core_utilization(
     const UtilMatrix& core,
+    ProbePolicy policy = ProbePolicy::kMinOverFeasible);
+
+/// Allocation-free variant of the above: evaluates the improved test into
+/// `scratch` (reusing its vectors) before folding.  The probe hot path.
+[[nodiscard]] double core_utilization(
+    const UtilMatrix& core, Theorem1Result& scratch,
     ProbePolicy policy = ProbePolicy::kMinOverFeasible);
 
 /// Result of probing "what if task tau_i joined this core" (Eq. 14-15).
@@ -52,6 +60,10 @@ struct ProbeResult {
 /// computation's perspective; the partition is not modified).
 /// `current_util` is the core's utilization before the addition (pass the
 /// cached value to avoid recomputation).
+///
+/// Convenience for tests/examples: allocates a hypothetical UtilMatrix per
+/// call.  Partitioner hot paths use PlacementEngine::probe (placement.hpp),
+/// which performs the same computation against reusable scratch state.
 [[nodiscard]] ProbeResult probe_assignment(
     const Partition& partition, std::size_t task_index, std::size_t core,
     double current_util, ProbePolicy policy = ProbePolicy::kMinOverFeasible);

@@ -12,14 +12,31 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 bool basic_test(const UtilMatrix& core) { return core.own_level_sum() <= 1.0; }
 
 Theorem1Result improved_test(const UtilMatrix& core) {
-  const Level K = core.num_levels();
   Theorem1Result r;
+  improved_test(core, r);
+  return r;
+}
+
+void improved_test(const UtilMatrix& core, Theorem1Result& r) {
+  const Level K = core.num_levels();
+  r.schedulable = false;
+  r.best_k = 0;
+  r.min_picked_full_budget = true;
 
   if (K == 1) {
-    // Plain EDF: a single criticality level has no virtual deadlines.
-    r.schedulable = core.level_util(1, 1) <= 1.0;
+    // Plain EDF: a single criticality level has no virtual deadlines.  A
+    // pseudo-condition k = 1 with theta = U_1(1), mu = 1 is recorded so that
+    // core_utilization() reports the true utilization instead of a
+    // placeholder (historically this case silently folded to 0).
+    const double u = core.level_util(1, 1);
+    r.schedulable = u <= 1.0;
     r.best_k = r.schedulable ? 1 : 0;
-    return r;
+    r.lambda.assign(1, 0.0);
+    r.lambda_valid_count = 1;
+    r.theta.assign(1, u);
+    r.mu.assign(1, 1.0);
+    r.avail.assign(1, 1.0 - u);
+    return;
   }
 
   // lambda_1 = 0; lambda_j (j >= 2) per Eq. (6).  `prod` carries
@@ -71,7 +88,6 @@ Theorem1Result improved_test(const UtilMatrix& core) {
       r.best_k = k;
     }
   }
-  return r;
 }
 
 bool dual_test(const UtilMatrix& core) {

@@ -64,9 +64,15 @@ struct Theorem1Result {
 /// Eq. (4): sufficient utilization test.  Also covers K == 1 (plain EDF).
 [[nodiscard]] bool basic_test(const UtilMatrix& core);
 
-/// Theorem 1 improved test.  For K == 1 falls back to basic_test semantics
-/// (schedulable iff U_1(1) <= 1, with best_k = 1 by convention).
+/// Theorem 1 improved test.  For K == 1 the test degenerates to plain EDF
+/// (schedulable iff U_1(1) <= 1, best_k = 1 by convention) and a single
+/// pseudo-condition is recorded — theta = U_1(1), mu = 1, A = 1 - U_1(1) —
+/// so core_utilization() folds to the true utilization for every K.
 [[nodiscard]] Theorem1Result improved_test(const UtilMatrix& core);
+
+/// Allocation-free variant: writes into `out`, reusing its vectors.  The
+/// hot path for probe loops (PlacementEngine keeps one scratch result).
+void improved_test(const UtilMatrix& core, Theorem1Result& out);
 
 /// Eq. (7): the dual-criticality (K == 2) specialization,
 /// U_1(1) + min{U_2(2), U_2(1)/(1 - U_2(2))} <= 1.

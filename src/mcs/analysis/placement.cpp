@@ -1,0 +1,104 @@
+#include "mcs/analysis/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mcs/analysis/edfvd.hpp"
+
+namespace mcs::analysis {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void PlacementEngine::reset(const TaskSet& ts, std::size_t num_cores) {
+  if (partition_) {
+    partition_->reset(ts, num_cores);
+  } else {
+    partition_.emplace(ts, num_cores);
+  }
+  scratch_.reset(ts.num_levels());
+  util_.assign(num_cores, 0.0);
+  probes_ = 0;
+  max_util_ = 0.0;
+  min_util_ = 0.0;
+  minmax_valid_ = true;
+}
+
+const UtilMatrix& PlacementEngine::with_task(std::size_t task,
+                                             std::size_t core) {
+  scratch_ = partition_->utils_on(core);  // reuses scratch storage
+  scratch_.add(taskset()[task]);
+  return scratch_;
+}
+
+ProbeResult PlacementEngine::probe(std::size_t task, std::size_t core,
+                                   ProbePolicy policy) {
+  ++probes_;
+  const double new_util =
+      core_utilization(with_task(task, core), test_scratch_, policy);
+  ProbeResult r;
+  r.feasible = new_util != kInf;
+  r.new_util = new_util;
+  r.increment = r.feasible ? new_util - util_[core] : kInf;
+  return r;
+}
+
+bool PlacementEngine::probe_fits(std::size_t task, std::size_t core) {
+  ++probes_;
+  const UtilMatrix& hypothetical = with_task(task, core);
+  if (basic_test(hypothetical)) return true;
+  improved_test(hypothetical, test_scratch_);
+  return test_scratch_.schedulable;
+}
+
+bool PlacementEngine::probe_fits_basic(std::size_t task, std::size_t core) {
+  ++probes_;
+  return basic_test(with_task(task, core));
+}
+
+void PlacementEngine::commit(std::size_t task, std::size_t core) {
+  partition_->assign(task, core);
+}
+
+void PlacementEngine::commit(std::size_t task, std::size_t core,
+                             double new_util) {
+  partition_->assign(task, core);
+  set_util(core, new_util);
+}
+
+void PlacementEngine::uncommit(std::size_t task) {
+  partition_->unassign(task);
+}
+
+void PlacementEngine::relocate(std::size_t task, std::size_t core) {
+  partition_->unassign(task);
+  partition_->assign(task, core);
+}
+
+void PlacementEngine::set_util(std::size_t core, double value) {
+  const double old = util_[core];
+  util_[core] = value;
+  if (!minmax_valid_) return;
+  if (value > max_util_) {
+    max_util_ = value;
+  } else if (old == max_util_ && value < old) {
+    minmax_valid_ = false;  // the maximum may have moved; rescan on demand
+  }
+  if (value < min_util_) {
+    min_util_ = value;
+  } else if (old == min_util_ && value > old) {
+    minmax_valid_ = false;
+  }
+}
+
+double PlacementEngine::imbalance() const {
+  if (!minmax_valid_) {
+    max_util_ = *std::max_element(util_.begin(), util_.end());
+    min_util_ = *std::min_element(util_.begin(), util_.end());
+    minmax_valid_ = true;
+  }
+  return max_util_ > 0.0 ? (max_util_ - min_util_) / max_util_ : 0.0;
+}
+
+}  // namespace mcs::analysis

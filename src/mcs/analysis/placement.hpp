@@ -1,0 +1,134 @@
+// PlacementEngine: incremental feasibility probing for partitioners.
+//
+// Every partitioning scheme in this repository follows the same probe loop:
+// "what happens to core m if task tau_i joins it?", evaluated thousands of
+// times per task set and tens of millions of times per Monte-Carlo point.
+// Historically each probe copied the core's UtilMatrix into a freshly
+// allocated hypothetical matrix and ran the Theorem-1 test into freshly
+// allocated result vectors — five heap allocations per probe.
+//
+// The engine owns all per-core placement state and makes a probe
+// allocation-free:
+//   * the Partition itself (incrementally-maintained per-core UtilMatrix),
+//   * one reusable scratch UtilMatrix (probe hypotheticals are copied into
+//     it, reusing its storage) and one scratch Theorem1Result,
+//   * cached core utilizations U^{Psi_m} with running min/max trackers for
+//     the Lambda imbalance check (Sec. III-C),
+//   * the unified probe counter every scheme reports.
+//
+// Probes evaluate exactly the same arithmetic as the historical free
+// functions (fits / fits_basic_only / probe_assignment), so partitioning
+// decisions are bit-identical; see tests/partition/placement_parity_test.
+//
+// Engines are reusable across task sets via reset() — the Monte-Carlo
+// harness keeps one engine per worker chunk so per-trial state is recycled
+// instead of reallocated.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "mcs/analysis/core_util.hpp"
+#include "mcs/core/partition.hpp"
+
+namespace mcs::analysis {
+
+class PlacementEngine {
+ public:
+  /// An engine not yet bound to a task set; call reset() before use.
+  PlacementEngine() = default;
+
+  PlacementEngine(const TaskSet& ts, std::size_t num_cores) {
+    reset(ts, num_cores);
+  }
+
+  /// Rebinds to a task set / core count: clears the partition, cached
+  /// utilizations and the probe counter, reusing all buffers.
+  void reset(const TaskSet& ts, std::size_t num_cores);
+
+  [[nodiscard]] bool bound() const noexcept { return partition_.has_value(); }
+  [[nodiscard]] const Partition& partition() const { return *partition_; }
+  [[nodiscard]] const TaskSet& taskset() const {
+    return partition_->taskset();
+  }
+  [[nodiscard]] std::size_t num_cores() const {
+    return partition_->num_cores();
+  }
+
+  /// Moves the partition out (for callers that outlive the engine).  The
+  /// engine must be reset() before further use.
+  [[nodiscard]] Partition take_partition() && { return *std::move(partition_); }
+
+  // --- Probes (each call counts one probe toward probes()) ---------------
+
+  /// CA-TPA probe (Eq. 14-15): utilization of core `core` with `task`
+  /// hypothetically added, folded per `policy`; the increment is measured
+  /// against the cached core utilization util(core).
+  [[nodiscard]] ProbeResult probe(std::size_t task, std::size_t core,
+                                  ProbePolicy policy);
+
+  /// Baseline feasibility: Eq. (4) fast path, Theorem 1 fallback — the
+  /// order the paper prescribes for FFD/BFD/WFD/Hybrid.
+  [[nodiscard]] bool probe_fits(std::size_t task, std::size_t core);
+
+  /// Eq. (4) only (ablation A4).
+  [[nodiscard]] bool probe_fits_basic(std::size_t task, std::size_t core);
+
+  /// Counts one probe for schemes whose feasibility test lives outside the
+  /// utilization framework (DBF, AMC-rtb response times).
+  void count_probe() noexcept { ++probes_; }
+
+  [[nodiscard]] std::size_t probes() const noexcept { return probes_; }
+
+  // --- Placement state ----------------------------------------------------
+
+  /// Assigns `task` to `core` without touching the cached utilization (for
+  /// schemes that track load, not U^{Psi_m}).
+  void commit(std::size_t task, std::size_t core);
+
+  /// Assigns `task` to `core` and caches `new_util` (typically the
+  /// ProbeResult::new_util of the probe that chose the core).
+  void commit(std::size_t task, std::size_t core, double new_util);
+
+  /// Removes `task` from its core.  The cached utilization of that core is
+  /// left untouched — callers juggling tentative moves (repair) manage the
+  /// cache explicitly via set_util().
+  void uncommit(std::size_t task);
+
+  /// uncommit + commit without cache updates: moves `task` to `core`.
+  void relocate(std::size_t task, std::size_t core);
+
+  /// Cached U^{Psi_m} of core m (0 for untracked/empty cores).
+  [[nodiscard]] double util(std::size_t core) const { return util_[core]; }
+
+  /// Overwrites the cached utilization of core m.
+  void set_util(std::size_t core, double value);
+
+  /// Classical bin-packing load of core m: the Eq. (4) own-level sum.
+  [[nodiscard]] double load(std::size_t core) const {
+    return partition_->utils_on(core).own_level_sum();
+  }
+
+  /// Imbalance factor Lambda = (U_sys - U_min) / U_sys over the cached core
+  /// utilizations (Eq. 16); 0 when U_sys == 0.  Maintained by running
+  /// min/max trackers, falling back to an O(M) rescan only when a commit
+  /// displaced the current extremum.
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  [[nodiscard]] const UtilMatrix& with_task(std::size_t task,
+                                            std::size_t core);
+
+  std::optional<Partition> partition_;
+  UtilMatrix scratch_{1};
+  Theorem1Result test_scratch_;
+  std::vector<double> util_;
+  std::size_t probes_ = 0;
+
+  mutable double max_util_ = 0.0;
+  mutable double min_util_ = 0.0;
+  mutable bool minmax_valid_ = true;
+};
+
+}  // namespace mcs::analysis

@@ -16,6 +16,27 @@ Partition::Partition(const TaskSet& ts, std::size_t num_cores) : ts_(&ts) {
   core_of_.assign(ts.size(), kUnassigned);
 }
 
+void Partition::reset(const TaskSet& ts, std::size_t num_cores) {
+  if (num_cores == 0) {
+    throw std::invalid_argument("Partition::reset: need at least one core");
+  }
+  ts_ = &ts;
+  if (cores_.size() > num_cores) {
+    cores_.erase(cores_.begin() + static_cast<std::ptrdiff_t>(num_cores),
+                 cores_.end());
+  }
+  for (CoreState& core : cores_) {
+    core.members.clear();
+    core.utils.reset(ts.num_levels());
+  }
+  cores_.reserve(num_cores);
+  while (cores_.size() < num_cores) {
+    cores_.emplace_back(ts.num_levels());
+  }
+  core_of_.assign(ts.size(), kUnassigned);
+  assigned_ = 0;
+}
+
 void Partition::assign(std::size_t task_index, std::size_t core) {
   if (task_index >= ts_->size()) {
     throw std::out_of_range("Partition::assign: task index out of range");

@@ -22,6 +22,11 @@ class Partition {
   /// outlive the Partition (it is held by reference).
   Partition(const TaskSet& ts, std::size_t num_cores);
 
+  /// Rebinds to a (possibly different) task set and core count and clears
+  /// all assignments, reusing the per-core buffers — the no-allocation path
+  /// for harnesses that partition many task sets in a row.
+  void reset(const TaskSet& ts, std::size_t num_cores);
+
   [[nodiscard]] std::size_t num_cores() const noexcept { return cores_.size(); }
   [[nodiscard]] const TaskSet& taskset() const noexcept { return *ts_; }
 

@@ -11,6 +11,15 @@ UtilMatrix::UtilMatrix(Level num_levels) : levels_(num_levels) {
   u_.assign(static_cast<std::size_t>(levels_) * levels_, 0.0);
 }
 
+void UtilMatrix::reset(Level num_levels) {
+  if (num_levels < 1) {
+    throw std::invalid_argument("UtilMatrix::reset: need at least one level");
+  }
+  levels_ = num_levels;
+  count_ = 0;
+  u_.assign(static_cast<std::size_t>(levels_) * levels_, 0.0);
+}
+
 void UtilMatrix::add(const McTask& task) {
   const Level j = task.level();
   if (j > levels_) {

@@ -28,6 +28,11 @@ class UtilMatrix {
   /// An empty matrix for a system with `num_levels` criticality levels.
   explicit UtilMatrix(Level num_levels);
 
+  /// Re-initializes to an empty matrix for `num_levels` levels, reusing the
+  /// existing storage when possible (no allocation on the steady state of
+  /// probe/trial loops).
+  void reset(Level num_levels);
+
   [[nodiscard]] Level num_levels() const noexcept { return levels_; }
 
   /// Number of tasks currently accounted for.

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "mcs/analysis/placement.hpp"
 #include "mcs/util/thread_pool.hpp"
 
 namespace mcs::exp {
@@ -26,6 +27,10 @@ PointResult run_point(const gen::GenParams& params,
       static_cast<std::size_t>(chunks),
       [&](std::size_t chunk) {
         std::vector<SchemeAggregate> local(schemes.size());
+        // One engine per chunk: partition, scratch matrices and utilization
+        // caches are recycled across every trial x scheme of the chunk
+        // instead of being reallocated per run.
+        analysis::PlacementEngine engine;
         const std::uint64_t begin = static_cast<std::uint64_t>(chunk) * kChunk;
         const std::uint64_t end = std::min(begin + kChunk, options.trials);
         for (std::uint64_t trial = begin; trial < end; ++trial) {
@@ -34,13 +39,14 @@ PointResult run_point(const gen::GenParams& params,
           for (std::size_t s = 0; s < schemes.size(); ++s) {
             SchemeAggregate& agg = local[s];
             ++agg.trials;
-            const partition::PartitionResult result =
-                schemes[s]->run(ts, params.num_cores);
-            agg.probes.add(static_cast<double>(result.probes));
-            if (!result.success) continue;
+            engine.reset(ts, params.num_cores);
+            const partition::PlacementOutcome outcome =
+                schemes[s]->run_on(engine);
+            agg.probes.add(static_cast<double>(engine.probes()));
+            if (!outcome.success) continue;
             ++agg.schedulable;
             const analysis::PartitionMetrics m =
-                analysis::partition_metrics(result.partition);
+                analysis::partition_metrics(engine.partition());
             agg.u_sys.add(m.u_sys);
             agg.u_avg.add(m.u_avg);
             agg.imbalance.add(m.imbalance);

@@ -1,13 +1,8 @@
 #include "mcs/partition/catpa.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 namespace mcs::partition {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
 // Increments that differ by less than this are ties (the paper breaks ties
 // toward the smaller core index); without the epsilon, floating-point noise
 // of ~1e-16 from the theta/mu arithmetic would decide them arbitrarily.
@@ -29,39 +24,31 @@ namespace {
 
 /// Single-migration repair: tries to make room for `task` by relocating one
 /// already-placed task from a candidate core to some other core.  On
-/// success `task` is assigned, `util` is refreshed, and true is returned;
-/// otherwise the partition is left exactly as it was.
-bool try_repair(Partition& partition, std::vector<double>& util,
-                std::size_t task, analysis::ProbePolicy policy,
-                std::size_t& probes) {
-  const std::size_t cores = partition.num_cores();
+/// success `task` is assigned, the cached utilizations are refreshed, and
+/// true is returned; otherwise the partition (and the utilization cache) is
+/// left exactly as it was — tentative moves go through relocate(), which
+/// does not touch the cache.
+bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
+                analysis::ProbePolicy policy) {
+  const std::size_t cores = engine.num_cores();
   for (std::size_t dest = 0; dest < cores; ++dest) {
     // Candidate tasks to evict from `dest` (copy: we mutate the partition).
-    const std::vector<std::size_t> members = partition.tasks_on(dest);
+    const std::vector<std::size_t> members = engine.partition().tasks_on(dest);
     for (std::size_t victim : members) {
       for (std::size_t refuge = 0; refuge < cores; ++refuge) {
         if (refuge == dest) continue;
-        ++probes;
         const analysis::ProbeResult victim_probe =
-            analysis::probe_assignment(partition, victim, refuge, util[refuge],
-                                       policy);
+            engine.probe(victim, refuge, policy);
         if (!victim_probe.feasible) continue;
-        partition.unassign(victim);
-        partition.assign(victim, refuge);
-        const double dest_util =
-            analysis::core_utilization(partition.utils_on(dest), policy);
-        ++probes;
+        engine.relocate(victim, refuge);
         const analysis::ProbeResult task_probe =
-            analysis::probe_assignment(partition, task, dest, dest_util,
-                                       policy);
+            engine.probe(task, dest, policy);
         if (task_probe.feasible) {
-          partition.assign(task, dest);
-          util[refuge] = victim_probe.new_util;
-          util[dest] = task_probe.new_util;
+          engine.commit(task, dest, task_probe.new_util);
+          engine.set_util(refuge, victim_probe.new_util);
           return true;
         }
-        partition.unassign(victim);
-        partition.assign(victim, dest);
+        engine.relocate(victim, dest);
       }
     }
   }
@@ -70,58 +57,46 @@ bool try_repair(Partition& partition, std::vector<double>& util,
 
 }  // namespace
 
-PartitionResult CaTpaPartitioner::run(const TaskSet& ts,
-                                      std::size_t num_cores) const {
-  PartitionResult r{.partition = Partition(ts, num_cores)};
+PlacementOutcome CaTpaPartitioner::run_on(
+    analysis::PlacementEngine& engine) const {
+  const TaskSet& ts = engine.taskset();
+  const std::size_t num_cores = engine.num_cores();
   const std::vector<std::size_t> order = options_.order_by_contribution
                                              ? order_by_contribution(ts)
                                              : order_by_max_utilization(ts);
 
-  // Cached U^{Psi_m}; empty cores have utilization 0.
-  std::vector<double> util(num_cores, 0.0);
-
+  PlacementOutcome outcome;
   for (std::size_t t : order) {
     // Imbalance fallback (Sec. III-C): when the partition has drifted out of
     // balance, place the task on the least-utilized feasible core.
-    bool rebalance = false;
-    if (options_.use_imbalance_control) {
-      const double u_sys = *std::max_element(util.begin(), util.end());
-      const double u_min = *std::min_element(util.begin(), util.end());
-      const double imbalance = u_sys > 0.0 ? (u_sys - u_min) / u_sys : 0.0;
-      rebalance = imbalance >= options_.alpha;
-    }
+    const bool rebalance = options_.use_imbalance_control &&
+                           engine.imbalance() >= options_.alpha;
 
-    std::size_t chosen = kUnassigned;
-    double chosen_key = kInf;
-    double chosen_new_util = kInf;
-    for (std::size_t m = 0; m < num_cores; ++m) {
-      ++r.probes;
-      const analysis::ProbeResult probe = analysis::probe_assignment(
-          r.partition, t, m, util[m], options_.probe_policy);
-      if (!probe.feasible) continue;
-      // Selection key: current utilization when re-balancing (pick the
-      // emptiest core), utilization increment otherwise (Algorithm 1 line 8).
-      const double key = rebalance ? util[m] : probe.increment;
-      if (key < chosen_key - kTieEps) {
-        chosen_key = key;
-        chosen = m;
-        chosen_new_util = probe.new_util;
-      }
-    }
-    if (chosen == kUnassigned) {
+    const CoreChoice choice = select_core(
+        num_cores, SelectionRule::kMinKey, kTieEps,
+        [&](std::size_t m) -> std::optional<Candidate> {
+          const analysis::ProbeResult probe =
+              engine.probe(t, m, options_.probe_policy);
+          if (!probe.feasible) return std::nullopt;
+          // Selection key: current utilization when re-balancing (pick the
+          // emptiest core), utilization increment otherwise (Algorithm 1
+          // line 8).
+          return Candidate{rebalance ? engine.util(m) : probe.increment,
+                           probe.new_util};
+        });
+    if (choice.core == kUnassigned) {
       if (options_.enable_repair &&
-          try_repair(r.partition, util, t, options_.probe_policy, r.probes)) {
+          try_repair(engine, t, options_.probe_policy)) {
         continue;
       }
-      r.failed_task = t;
-      r.success = false;
-      return r;
+      outcome.failed_task = t;
+      outcome.success = false;
+      return outcome;
     }
-    r.partition.assign(t, chosen);
-    util[chosen] = chosen_new_util;
+    engine.commit(t, choice.core, choice.payload);
   }
-  r.success = true;
-  return r;
+  outcome.success = true;
+  return outcome;
 }
 
 }  // namespace mcs::partition

@@ -44,8 +44,8 @@ class CaTpaPartitioner final : public Partitioner {
  public:
   explicit CaTpaPartitioner(CaTpaOptions options = {});
 
-  [[nodiscard]] PartitionResult run(const TaskSet& ts,
-                                    std::size_t num_cores) const override;
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const CaTpaOptions& options() const noexcept {

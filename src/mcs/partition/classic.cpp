@@ -3,44 +3,38 @@
 namespace mcs::partition {
 
 std::optional<std::size_t> allocate_with_rule(
-    Partition& partition, const std::vector<std::size_t>& order, FitRule rule,
-    std::size_t& probes, TestStrength strength) {
-  const std::size_t cores = partition.num_cores();
+    analysis::PlacementEngine& engine, std::span<const std::size_t> order,
+    FitRule rule, TestStrength strength) {
   const bool basic_only = strength == TestStrength::kBasicOnly;
-  for (std::size_t t : order) {
-    std::size_t chosen = kUnassigned;
-    double chosen_load = 0.0;
-    for (std::size_t m = 0; m < cores; ++m) {
-      const bool ok = basic_only ? fits_basic_only(partition, t, m, probes)
-                                 : fits(partition, t, m, probes);
-      if (!ok) continue;
-      if (rule == FitRule::kFirst) {
-        chosen = m;
-        break;
-      }
-      const double load = partition.utils_on(m).own_level_sum();
-      const bool better =
-          chosen == kUnassigned ||
-          (rule == FitRule::kBest ? load > chosen_load : load < chosen_load);
-      if (better) {
-        chosen = m;
-        chosen_load = load;
-      }
-    }
-    if (chosen == kUnassigned) return t;
-    partition.assign(t, chosen);
-  }
-  return std::nullopt;
+  const SelectionRule selection = rule == FitRule::kFirst
+                                      ? SelectionRule::kFirstFeasible
+                                      : SelectionRule::kMinKey;
+  return place_in_order(
+      order, engine.num_cores(), selection, 0.0,
+      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
+        const bool ok = basic_only ? engine.probe_fits_basic(t, m)
+                                   : engine.probe_fits(t, m);
+        if (!ok) return std::nullopt;
+        if (rule == FitRule::kFirst) return Candidate{};
+        // Best fit wants the highest load; negate so the shared min-key
+        // selection picks it (IEEE negation is exact, so ties still break
+        // toward the smaller core index).
+        const double load = engine.load(m);
+        return Candidate{rule == FitRule::kBest ? -load : load};
+      },
+      [&](std::size_t t, const CoreChoice& choice) {
+        engine.commit(t, choice.core);
+      });
 }
 
-PartitionResult ClassicPartitioner::run(const TaskSet& ts,
-                                        std::size_t num_cores) const {
-  PartitionResult r{.partition = Partition(ts, num_cores)};
-  const std::vector<std::size_t> order = order_by_max_utilization(ts);
-  r.failed_task =
-      allocate_with_rule(r.partition, order, rule_, r.probes, strength_);
-  r.success = !r.failed_task.has_value();
-  return r;
+PlacementOutcome ClassicPartitioner::run_on(
+    analysis::PlacementEngine& engine) const {
+  const std::vector<std::size_t> order =
+      order_by_max_utilization(engine.taskset());
+  PlacementOutcome outcome;
+  outcome.failed_task = allocate_with_rule(engine, order, rule_, strength_);
+  outcome.success = !outcome.failed_task.has_value();
+  return outcome;
 }
 
 std::string ClassicPartitioner::name() const {

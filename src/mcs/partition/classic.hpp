@@ -31,8 +31,8 @@ class ClassicPartitioner final : public Partitioner {
       FitRule rule, TestStrength strength = TestStrength::kBasicThenImproved)
       : rule_(rule), strength_(strength) {}
 
-  [[nodiscard]] PartitionResult run(const TaskSet& ts,
-                                    std::size_t num_cores) const override;
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] FitRule rule() const noexcept { return rule_; }
@@ -42,12 +42,12 @@ class ClassicPartitioner final : public Partitioner {
   TestStrength strength_;
 };
 
-/// Allocates `order`-ed tasks with the given fit rule onto `partition`,
-/// starting from its current state.  Returns the first unplaceable task, or
-/// nullopt if all were placed.  Shared by the classic schemes and Hybrid.
+/// Allocates `order`-ed tasks with the given fit rule onto the engine's
+/// partition, starting from its current state.  Returns the first
+/// unplaceable task, or nullopt if all were placed.  Shared by the classic
+/// schemes and Hybrid.
 std::optional<std::size_t> allocate_with_rule(
-    Partition& partition, const std::vector<std::size_t>& order, FitRule rule,
-    std::size_t& probes,
-    TestStrength strength = TestStrength::kBasicThenImproved);
+    analysis::PlacementEngine& engine, std::span<const std::size_t> order,
+    FitRule rule, TestStrength strength = TestStrength::kBasicThenImproved);
 
 }  // namespace mcs::partition

@@ -6,36 +6,34 @@
 
 namespace mcs::partition {
 
-PartitionResult DbfFfdPartitioner::run(const TaskSet& ts,
-                                       std::size_t num_cores) const {
+PlacementOutcome DbfFfdPartitioner::run_on(
+    analysis::PlacementEngine& engine) const {
+  const TaskSet& ts = engine.taskset();
   if (ts.num_levels() != 2) {
     throw std::invalid_argument(
         "DbfFfdPartitioner: requires a dual-criticality task set");
   }
-  PartitionResult r{.partition = Partition(ts, num_cores)};
   const std::vector<std::size_t> order = order_by_contribution_
                                              ? order_by_contribution(ts)
                                              : order_by_max_utilization(ts);
-  for (std::size_t t : order) {
-    std::size_t chosen = kUnassigned;
-    for (std::size_t m = 0; m < num_cores; ++m) {
-      ++r.probes;
-      std::vector<std::size_t> members = r.partition.tasks_on(m);
-      members.push_back(t);
-      if (analysis::dbf_dual_test(ts, members, options_).schedulable) {
-        chosen = m;
-        break;
-      }
-    }
-    if (chosen == kUnassigned) {
-      r.failed_task = t;
-      r.success = false;
-      return r;
-    }
-    r.partition.assign(t, chosen);
-  }
-  r.success = true;
-  return r;
+  std::vector<std::size_t> members;  // reused across probes
+  PlacementOutcome outcome;
+  outcome.failed_task = place_in_order(
+      order, engine.num_cores(), SelectionRule::kFirstFeasible, 0.0,
+      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
+        engine.count_probe();
+        members = engine.partition().tasks_on(m);
+        members.push_back(t);
+        if (!analysis::dbf_dual_test(ts, members, options_).schedulable) {
+          return std::nullopt;
+        }
+        return Candidate{};
+      },
+      [&](std::size_t t, const CoreChoice& choice) {
+        engine.commit(t, choice.core);
+      });
+  outcome.success = !outcome.failed_task.has_value();
+  return outcome;
 }
 
 }  // namespace mcs::partition

@@ -20,8 +20,8 @@ class DbfFfdPartitioner final : public Partitioner {
       : options_(options), order_by_contribution_(order_by_contribution) {}
 
   /// Requires ts.num_levels() == 2; throws std::invalid_argument otherwise.
-  [[nodiscard]] PartitionResult run(const TaskSet& ts,
-                                    std::size_t num_cores) const override;
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
   [[nodiscard]] std::string name() const override {
     return order_by_contribution_ ? "DBF-FFD/contrib" : "DBF-FFD";
   }

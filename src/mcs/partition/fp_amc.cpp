@@ -11,28 +11,27 @@ namespace {
 
 /// AMC-rtb feasibility of core `core` with `task_index` tentatively added,
 /// under the configured priority-assignment policy.
-bool fits_amc(const Partition& partition, std::size_t task_index,
+bool fits_amc(analysis::PlacementEngine& engine, std::size_t task_index,
               std::size_t core, PriorityAssignment assignment,
-              std::size_t& probes) {
-  ++probes;
-  std::vector<std::size_t> members = partition.tasks_on(core);
+              std::vector<std::size_t>& members) {
+  engine.count_probe();
+  members = engine.partition().tasks_on(core);
   members.push_back(task_index);
   if (assignment == PriorityAssignment::kAudsley) {
-    return analysis::audsley_assignment(partition.taskset(), members)
-        .has_value();
+    return analysis::audsley_assignment(engine.taskset(), members).has_value();
   }
-  return analysis::amc_rtb_test(partition.taskset(), members).schedulable;
+  return analysis::amc_rtb_test(engine.taskset(), members).schedulable;
 }
 
 }  // namespace
 
-PartitionResult FpAmcPartitioner::run(const TaskSet& ts,
-                                      std::size_t num_cores) const {
+PlacementOutcome FpAmcPartitioner::run_on(
+    analysis::PlacementEngine& engine) const {
+  const TaskSet& ts = engine.taskset();
   if (ts.num_levels() != 2) {
     throw std::invalid_argument(
         "FpAmcPartitioner: requires a dual-criticality task set");
   }
-  PartitionResult r{.partition = Partition(ts, num_cores)};
 
   // Criticality-first ordering (HI before LO), decreasing max utilization
   // within each group.
@@ -46,33 +45,26 @@ PartitionResult FpAmcPartitioner::run(const TaskSet& ts,
     return a < b;
   });
 
-  for (std::size_t t : order) {
-    std::size_t chosen = kUnassigned;
-    double chosen_load = 0.0;
-    for (std::size_t m = 0; m < num_cores; ++m) {
-      if (!fits_amc(r.partition, t, m, assignment_, r.probes)) continue;
-      if (rule_ == FitRule::kFirst) {
-        chosen = m;
-        break;
-      }
-      const double load = r.partition.utils_on(m).own_level_sum();
-      const bool better =
-          chosen == kUnassigned ||
-          (rule_ == FitRule::kBest ? load > chosen_load : load < chosen_load);
-      if (better) {
-        chosen = m;
-        chosen_load = load;
-      }
-    }
-    if (chosen == kUnassigned) {
-      r.failed_task = t;
-      r.success = false;
-      return r;
-    }
-    r.partition.assign(t, chosen);
-  }
-  r.success = true;
-  return r;
+  std::vector<std::size_t> members;  // reused across probes
+  PlacementOutcome outcome;
+  outcome.failed_task = place_in_order(
+      order, engine.num_cores(),
+      rule_ == FitRule::kFirst ? SelectionRule::kFirstFeasible
+                               : SelectionRule::kMinKey,
+      0.0,
+      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
+        if (!fits_amc(engine, t, m, assignment_, members)) {
+          return std::nullopt;
+        }
+        if (rule_ == FitRule::kFirst) return Candidate{};
+        const double load = engine.load(m);
+        return Candidate{rule_ == FitRule::kBest ? -load : load};
+      },
+      [&](std::size_t t, const CoreChoice& choice) {
+        engine.commit(t, choice.core);
+      });
+  outcome.success = !outcome.failed_task.has_value();
+  return outcome;
 }
 
 std::string FpAmcPartitioner::name() const {

@@ -29,8 +29,8 @@ class FpAmcPartitioner final : public Partitioner {
 
   /// Requires ts.num_levels() == 2 (AMC-rtb is dual-criticality); throws
   /// std::invalid_argument otherwise.
-  [[nodiscard]] PartitionResult run(const TaskSet& ts,
-                                    std::size_t num_cores) const override;
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

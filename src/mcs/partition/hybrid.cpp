@@ -6,9 +6,9 @@
 
 namespace mcs::partition {
 
-PartitionResult HybridPartitioner::run(const TaskSet& ts,
-                                       std::size_t num_cores) const {
-  PartitionResult r{.partition = Partition(ts, num_cores)};
+PlacementOutcome HybridPartitioner::run_on(
+    analysis::PlacementEngine& engine) const {
+  const TaskSet& ts = engine.taskset();
 
   std::vector<std::size_t> high;
   std::vector<std::size_t> low;
@@ -31,14 +31,13 @@ PartitionResult HybridPartitioner::run(const TaskSet& ts,
   std::sort(high.begin(), high.end(), by_level_then_util);
   std::sort(low.begin(), low.end(), by_util);
 
-  r.failed_task =
-      allocate_with_rule(r.partition, high, FitRule::kWorst, r.probes);
-  if (!r.failed_task) {
-    r.failed_task =
-        allocate_with_rule(r.partition, low, FitRule::kFirst, r.probes);
+  PlacementOutcome outcome;
+  outcome.failed_task = allocate_with_rule(engine, high, FitRule::kWorst);
+  if (!outcome.failed_task) {
+    outcome.failed_task = allocate_with_rule(engine, low, FitRule::kFirst);
   }
-  r.success = !r.failed_task.has_value();
-  return r;
+  outcome.success = !outcome.failed_task.has_value();
+  return outcome;
 }
 
 }  // namespace mcs::partition

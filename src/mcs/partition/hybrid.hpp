@@ -14,8 +14,8 @@ namespace mcs::partition {
 
 class HybridPartitioner final : public Partitioner {
  public:
-  [[nodiscard]] PartitionResult run(const TaskSet& ts,
-                                    std::size_t num_cores) const override;
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
   [[nodiscard]] std::string name() const override { return "Hybrid"; }
 };
 

@@ -1,24 +1,16 @@
 #include "mcs/partition/partitioner.hpp"
 
-#include "mcs/analysis/edfvd.hpp"
-
 namespace mcs::partition {
 
-bool fits(const Partition& partition, std::size_t task_index, std::size_t core,
-          std::size_t& probes) {
-  ++probes;
-  UtilMatrix hypothetical = partition.utils_on(core);
-  hypothetical.add(partition.taskset()[task_index]);
-  if (analysis::basic_test(hypothetical)) return true;
-  return analysis::improved_test(hypothetical).schedulable;
-}
-
-bool fits_basic_only(const Partition& partition, std::size_t task_index,
-                     std::size_t core, std::size_t& probes) {
-  ++probes;
-  UtilMatrix hypothetical = partition.utils_on(core);
-  hypothetical.add(partition.taskset()[task_index]);
-  return analysis::basic_test(hypothetical);
+PartitionResult Partitioner::run(const TaskSet& ts,
+                                 std::size_t num_cores) const {
+  analysis::PlacementEngine engine(ts, num_cores);
+  const PlacementOutcome outcome = run_on(engine);
+  const std::size_t probes = engine.probes();
+  return PartitionResult{.partition = std::move(engine).take_partition(),
+                         .success = outcome.success,
+                         .failed_task = outcome.failed_task,
+                         .probes = probes};
 }
 
 }  // namespace mcs::partition

@@ -3,15 +3,21 @@
 // A Partitioner maps a TaskSet onto M cores such that every core passes the
 // EDF-VD schedulability test (Eq. 4 fast path, Theorem 1 full test).  All
 // schemes in the paper fit a two-step template: (a) order the tasks, (b) pick
-// a target core per task.
+// a target core per task.  Step (b) is factored into one shared core-scan —
+// select_core()/place_in_order() below — parameterized by a probe functor
+// (which feasibility test gates a placement and what selection key it
+// yields) and a selection rule (first feasible vs. minimum key); all probing
+// state lives in an analysis::PlacementEngine.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "mcs/analysis/core_util.hpp"
+#include "mcs/analysis/placement.hpp"
 #include "mcs/core/contributions.hpp"
 #include "mcs/core/partition.hpp"
 
@@ -29,28 +35,94 @@ struct PartitionResult {
   std::size_t probes = 0;
 };
 
+/// Outcome of running a scheme against an externally-owned PlacementEngine
+/// (the partition and probe count stay inside the engine; harnesses that
+/// recycle engines read them from there).
+struct PlacementOutcome {
+  bool success = false;
+  std::optional<std::size_t> failed_task;
+};
+
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
 
-  /// Attempts to partition `ts` over `num_cores` cores.
-  [[nodiscard]] virtual PartitionResult run(const TaskSet& ts,
-                                            std::size_t num_cores) const = 0;
+  /// Attempts to partition `ts` over `num_cores` cores.  Convenience
+  /// wrapper: binds a fresh engine, delegates to run_on, and moves the
+  /// partition into the result.
+  [[nodiscard]] PartitionResult run(const TaskSet& ts,
+                                    std::size_t num_cores) const;
+
+  /// Runs the scheme on an engine already bound (via reset) to the task set
+  /// and core count.  Hot path for harnesses that reuse engine state across
+  /// trials.
+  [[nodiscard]] virtual PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const = 0;
 
   /// Short display name ("CA-TPA", "FFD", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// True when core `core` of `partition` can feasibly accept task
-/// `task_index`: the cheap Eq. (4) test first, Theorem 1 as fallback — the
-/// exact order the paper prescribes for the baseline heuristics.
-/// Increments `probes`.
-[[nodiscard]] bool fits(const Partition& partition, std::size_t task_index,
-                        std::size_t core, std::size_t& probes);
+/// A feasible placement option for one (task, core) pair as seen by the
+/// shared core-scan: its selection key (lower wins) plus one scheme-specific
+/// datum carried through to the commit step (CA-TPA stores the probed core
+/// utilization so the cache can be updated without re-probing).
+struct Candidate {
+  double key = 0.0;
+  double payload = 0.0;
+};
 
-/// Like fits(), but restricted to the Eq. (4) test (ablation A4).
-[[nodiscard]] bool fits_basic_only(const Partition& partition,
-                                   std::size_t task_index, std::size_t core,
-                                   std::size_t& probes);
+/// The winning core of one scan (kUnassigned when no core was feasible).
+struct CoreChoice {
+  std::size_t core = kUnassigned;
+  double key = std::numeric_limits<double>::infinity();
+  double payload = 0.0;
+};
+
+enum class SelectionRule {
+  kFirstFeasible,  ///< lowest-index feasible core, scan stops there
+  kMinKey,         ///< feasible core with the smallest key; ties (within
+                   ///< `tie_eps`) go to the smaller core index
+};
+
+/// Scans cores 0..num_cores-1 with `probe(m) -> std::optional<Candidate>`
+/// (nullopt = infeasible) and picks per `rule`.  The one core-scan loop
+/// every partitioner shares; probe counting happens inside the probe
+/// functor (normally via PlacementEngine).
+template <typename ProbeFn>
+[[nodiscard]] CoreChoice select_core(std::size_t num_cores, SelectionRule rule,
+                                     double tie_eps, ProbeFn&& probe) {
+  CoreChoice best;
+  for (std::size_t m = 0; m < num_cores; ++m) {
+    const std::optional<Candidate> candidate = probe(m);
+    if (!candidate) continue;
+    if (rule == SelectionRule::kFirstFeasible) {
+      best = CoreChoice{m, candidate->key, candidate->payload};
+      break;
+    }
+    if (candidate->key < best.key - tie_eps) {
+      best = CoreChoice{m, candidate->key, candidate->payload};
+    }
+  }
+  return best;
+}
+
+/// The shared order-then-place loop: for each task of `order`, selects a
+/// core via select_core and commits it with `place(task, choice)`.  Returns
+/// the first unplaceable task, or nullopt when every task was placed.
+template <typename ProbeFn, typename PlaceFn>
+std::optional<std::size_t> place_in_order(std::span<const std::size_t> order,
+                                          std::size_t num_cores,
+                                          SelectionRule rule, double tie_eps,
+                                          ProbeFn&& probe, PlaceFn&& place) {
+  for (const std::size_t t : order) {
+    const CoreChoice choice = select_core(
+        num_cores, rule, tie_eps,
+        [&](std::size_t m) { return probe(t, m); });
+    if (choice.core == kUnassigned) return t;
+    place(t, choice);
+  }
+  return std::nullopt;
+}
 
 }  // namespace mcs::partition

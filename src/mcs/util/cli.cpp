@@ -5,6 +5,14 @@
 
 namespace mcs::util {
 
+// GCC 12's -Wrestrict false-positives on the `value = "1"` assignment below
+// under -O2/-O3 (inlined basic_string::assign; GCC PR105329 family): it
+// invents impossible overlap between the SSO buffer and the literal.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 Cli::Cli(int argc, const char* const* argv,
          std::map<std::string, std::string> allowed)
     : allowed_(std::move(allowed)) {
@@ -45,6 +53,10 @@ Cli::Cli(int argc, const char* const* argv,
     values_[key] = value;
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::string Cli::usage(const std::string& program) const {
   std::ostringstream os;

@@ -47,6 +47,36 @@ TEST(CoreUtilizationTest, SingleLevelUsesPlainUtilization) {
   EXPECT_TRUE(std::isinf(core_utilization(over)));
 }
 
+TEST(CoreUtilizationTest, SingleLevelTheorem1ResultReportsTrueUtilization) {
+  // Regression: improved_test on a K=1 matrix used to leave the condition
+  // vectors empty, so core_utilization(Theorem1Result) silently folded an
+  // empty range to 0.0 -- reporting a loaded core as idle.  The K=1 branch
+  // now records a pseudo-condition with avail = 1 - u.
+  const UtilMatrix u = matrix_from({McTask(0, {3.0}, 10.0)}, 1);
+  const Theorem1Result r = improved_test(u);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_NEAR(core_utilization(r), 0.3, 1e-15);
+  EXPECT_NEAR(core_utilization(r, ProbePolicy::kFirstFeasible), 0.3, 1e-15);
+  EXPECT_NEAR(core_utilization(r, ProbePolicy::kMaxOverFeasible), 0.3, 1e-15);
+
+  const UtilMatrix over = matrix_from(
+      {McTask(0, {8.0}, 10.0), McTask(1, {5.0}, 10.0)}, 1);
+  const Theorem1Result bad = improved_test(over);
+  EXPECT_FALSE(bad.schedulable);
+  EXPECT_TRUE(std::isinf(core_utilization(bad)));
+}
+
+TEST(CoreUtilizationTest, ScratchOverloadMatchesAllocatingOverload) {
+  Theorem1Result scratch;
+  const UtilMatrix k1 = matrix_from({McTask(0, {3.0}, 10.0)}, 1);
+  EXPECT_DOUBLE_EQ(core_utilization(k1, scratch, ProbePolicy::kMinOverFeasible),
+                   core_utilization(k1));
+  const UtilMatrix k2 = matrix_from(
+      {McTask(0, {4.0}, 10.0), McTask(1, {1.5, 7.0}, 10.0)}, 2);
+  EXPECT_DOUBLE_EQ(core_utilization(k2, scratch, ProbePolicy::kMinOverFeasible),
+                   core_utilization(k2));
+}
+
 TEST(CoreUtilizationTest, FirstFeasiblePolicyUsesSmallestConditionIndex) {
   // Hand-computed three-level example: best_k = 1, so the first-feasible
   // utilization is 1 - A(1) = theta(1).

@@ -1,0 +1,90 @@
+// Golden-partition parity: the PlacementEngine-based partitioners must
+// reproduce the pre-refactor (seed) implementation bit-for-bit — same core
+// assignments, same success/failure, same probe counts — across a grid of
+// seeds x {K, M, NSU} for all five paper schemes.
+//
+// The golden file was captured from the seed implementation (per-probe
+// UtilMatrix copies, free fits()/probe_assignment() functions) before the
+// engine refactor; regenerate only if partitioning SEMANTICS intentionally
+// change, never to paper over a parity break.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/partition/registry.hpp"
+
+namespace mcs::partition {
+namespace {
+
+std::vector<std::string> load_golden() {
+  std::ifstream in(MCS_PARITY_GOLDEN_PATH);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Must stay in lockstep with the golden file's format and grid.
+std::vector<std::string> run_grid() {
+  std::vector<std::string> lines;
+  const std::uint64_t seeds[] = {1, 2, 3};
+  const Level levels[] = {2, 4};
+  const std::size_t cores[] = {2, 4, 8};
+  const double nsus[] = {0.4, 0.6, 0.8};
+
+  char buf[128];
+  for (std::uint64_t seed : seeds) {
+    for (Level K : levels) {
+      for (std::size_t M : cores) {
+        for (double nsu : nsus) {
+          gen::GenParams params;
+          params.num_cores = M;
+          params.num_levels = K;
+          params.nsu = nsu;
+          params.num_tasks = 0;  // draw N ~ U[40,200]
+          const TaskSet ts = gen::generate_trial(params, seed, 0);
+          for (const auto& scheme : paper_schemes(0.7)) {
+            const PartitionResult r = scheme->run(ts, M);
+            std::snprintf(
+                buf, sizeof(buf),
+                "seed=%llu K=%u M=%zu nsu=%.1f scheme=%s ok=%d failed=%lld "
+                "probes=%zu assign=",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned>(K), M, nsu, scheme->name().c_str(),
+                r.success ? 1 : 0,
+                r.failed_task ? static_cast<long long>(*r.failed_task) : -1LL,
+                r.probes);
+            std::string line = buf;
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+              if (i) line += ',';
+              const std::size_t c = r.partition.core_of(i);
+              line += (c == kUnassigned) ? "-" : std::to_string(c);
+            }
+            lines.push_back(std::move(line));
+          }
+        }
+      }
+    }
+  }
+  return lines;
+}
+
+TEST(PlacementParityTest, MatchesSeedImplementationBitForBit) {
+  const std::vector<std::string> golden = load_golden();
+  ASSERT_FALSE(golden.empty())
+      << "golden file missing or empty: " << MCS_PARITY_GOLDEN_PATH;
+  const std::vector<std::string> actual = run_grid();
+  ASSERT_EQ(golden.size(), actual.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(golden[i], actual[i]) << "grid entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcs::partition

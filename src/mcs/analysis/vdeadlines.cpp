@@ -25,14 +25,16 @@ double DeadlinePolicy::scale(Level task_level, Level mode) const {
 
   const Level k_star = result_.best_k;
   if (mode < k_star) {
-    // Pre-switch regime: tasks above the mode run against shrunk deadlines.
+    // Pre-switch regime: tasks above mode l run against deadlines shrunk by
+    // lambda_{l+1} (valid since mode + 1 <= k* <= lambda_valid_count).
+    // Eq. (6) defines lambda_{l+1} as exactly the factor for which the
+    // mode-l demand U_l(l) + sum_{x>l} U_x(l) / lambda_{l+1} matches the
+    // capacity prod_{x<=l}(1 - lambda_x) the cascade reserves for mode l,
+    // so the virtual-deadline load never exceeds 1 - lambda_2 <= 1.
     if (task_level == mode) return 1.0;
-    double s = 1.0;
-    for (Level j = 2; j <= mode + 1; ++j) {
-      s *= result_.lambda[j - 1];  // lambda_j, valid since j <= k* <= valid
-    }
-    // lambda_2..lambda_{l+1} may include zero factors when no demand exists
-    // above; never scale to (or below) zero.
+    const double s = result_.lambda[mode];  // lambda_{mode+1}
+    // lambda_{l+1} is zero when no demand exists above the mode; never
+    // scale to (or below) zero.
     return s > 0.0 ? s : 1.0;
   }
   // Post-switch regime (mode >= k*): everyone but possibly L_K is restored.

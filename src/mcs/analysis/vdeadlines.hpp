@@ -6,8 +6,10 @@
 // index satisfying Theorem 1):
 //
 //  * mode l < k*:    tasks at level l keep their full period; tasks at
-//                    levels j > l use p_i * prod_{j'=2}^{l+1} lambda_{j'}
-//                    (the recursive p-hat of the paper).
+//                    levels j > l use p_i * lambda_{l+1} — Eq. (6) defines
+//                    lambda_{l+1} as precisely the deadline-shrink factor
+//                    that fits the mode-l demand into the capacity
+//                    prod_{x<=l}(1 - lambda_x) the cascade reserves.
 //  * mode l >= k*:   tasks at levels k*..K-1 are restored to full periods.
 //                    Level-K tasks are restored too when the min term of
 //                    theta picked U_K(K); otherwise they use

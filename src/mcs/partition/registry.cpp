@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "mcs/partition/dbf_ffd.hpp"
+#include "mcs/partition/fp_amc.hpp"
+
 namespace mcs::partition {
 
 PartitionerList paper_schemes(double alpha) {
@@ -31,6 +34,16 @@ std::unique_ptr<Partitioner> make_scheme(const std::string& name,
   }
   if (name == "CA-TPA") {
     return std::make_unique<CaTpaPartitioner>(CaTpaOptions{.alpha = alpha});
+  }
+  if (name == "CA-TPA-R") {
+    return std::make_unique<CaTpaPartitioner>(
+        CaTpaOptions{.alpha = alpha, .enable_repair = true});
+  }
+  if (name == "FP-AMC") {
+    return std::make_unique<FpAmcPartitioner>();
+  }
+  if (name == "DBF-FFD") {
+    return std::make_unique<DbfFfdPartitioner>();
   }
   throw std::invalid_argument("make_scheme: unknown scheme '" + name + "'");
 }

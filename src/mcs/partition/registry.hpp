@@ -15,8 +15,10 @@ using PartitionerList = std::vector<std::unique_ptr<Partitioner>>;
 /// The paper's five-scheme line-up: WFD, FFD, BFD, Hybrid, CA-TPA(alpha).
 [[nodiscard]] PartitionerList paper_schemes(double alpha = 0.7);
 
-/// Builds a single scheme by name ("WFD", "FFD", "BFD", "Hybrid", "CA-TPA").
-/// Throws std::invalid_argument on unknown names.
+/// Builds a single scheme by name: the paper line-up ("WFD", "FFD", "BFD",
+/// "Hybrid", "CA-TPA"), the repair extension ("CA-TPA-R"), and the
+/// dual-criticality comparison schemes ("FP-AMC", "DBF-FFD").  Throws
+/// std::invalid_argument on unknown names.
 [[nodiscard]] std::unique_ptr<Partitioner> make_scheme(const std::string& name,
                                                        double alpha = 0.7);
 

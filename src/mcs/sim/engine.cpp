@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace mcs::sim {
@@ -430,20 +431,51 @@ class CoreSim {
   std::uint64_t last_ran_job_ = 0;
 };
 
+/// Horizon selection shared by simulate/simulate_core.
+double resolve_horizon(const SimConfig& config, const TaskSet& ts) {
+  if (config.horizon > 0.0) return config.horizon;
+  return config.use_hyperperiod_horizon ? hyperperiod_horizon(ts)
+                                        : default_horizon(ts);
+}
+
+}  // namespace
+
 double default_horizon(const TaskSet& ts) {
   double max_p = 0.0;
   for (const McTask& t : ts) max_p = std::max(max_p, t.period());
   return 20.0 * max_p;
 }
 
-}  // namespace
+std::optional<double> integral_hyperperiod(const TaskSet& ts) {
+  // Doubles represent integers exactly up to 2^53; beyond that the
+  // "hyperperiod" would silently lose precision, so treat it as overflow.
+  constexpr std::uint64_t kMaxExact = 1ULL << 53;
+  std::uint64_t lcm = 1;
+  for (const McTask& t : ts) {
+    const double p = t.period();
+    const double rounded = std::round(p);
+    if (rounded < 1.0 || std::abs(p - rounded) > 1e-9 * std::max(1.0, p)) {
+      return std::nullopt;
+    }
+    const auto ip = static_cast<std::uint64_t>(rounded);
+    const std::uint64_t g = std::gcd(lcm, ip);
+    const std::uint64_t step = lcm / g;
+    if (ip > kMaxExact / step) return std::nullopt;  // lcm would overflow
+    lcm = step * ip;
+  }
+  return static_cast<double>(lcm);
+}
+
+double hyperperiod_horizon(const TaskSet& ts) {
+  const std::optional<double> hp = integral_hyperperiod(ts);
+  return hp.has_value() ? *hp : default_horizon(ts);
+}
 
 SimResult simulate_core(const Partition& partition, std::size_t core,
                         const ExecutionScenario& scenario,
                         const SimConfig& config, TraceSink* sink) {
   SimResult result;
-  result.horizon = config.horizon > 0.0 ? config.horizon
-                                        : default_horizon(partition.taskset());
+  result.horizon = resolve_horizon(config, partition.taskset());
   result.tasks.assign(partition.taskset().size(), TaskSimStats{});
   CoreSim sim(partition, core, scenario, config, sink, result.misses,
               result.tasks);
@@ -455,8 +487,7 @@ SimResult simulate(const Partition& partition,
                    const ExecutionScenario& scenario, const SimConfig& config,
                    TraceSink* sink) {
   SimResult result;
-  result.horizon = config.horizon > 0.0 ? config.horizon
-                                        : default_horizon(partition.taskset());
+  result.horizon = resolve_horizon(config, partition.taskset());
   result.tasks.assign(partition.taskset().size(), TaskSimStats{});
   result.cores.reserve(partition.num_cores());
   for (std::size_t core = 0; core < partition.num_cores(); ++core) {

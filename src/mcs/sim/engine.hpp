@@ -34,8 +34,17 @@ enum class SchedulerKind {
 };
 
 struct SimConfig {
-  /// Simulation end time; 0 selects 20x the longest period in the set.
+  /// Simulation end time; 0 selects 20x the longest period in the set
+  /// (default_horizon), or the exact hyperperiod when
+  /// use_hyperperiod_horizon is set and one exists.
   double horizon = 0.0;
+  /// When horizon == 0, prefer the exact hyperperiod of the set's periods
+  /// over the 20x default.  Only takes effect when every period is integral
+  /// and the LCM fits without overflow (see integral_hyperperiod); otherwise
+  /// the 20x default is used.  The verify oracle's exact small-set mode
+  /// relies on this for synchronous-release coverage of a full period-LCM
+  /// window.
+  bool use_hyperperiod_horizon = false;
   /// Per-core scheduler.  Fixed-priority mode ignores virtual deadlines
   /// (jobs keep their real deadlines; priority = deadline-monotonic rank).
   SchedulerKind scheduler = SchedulerKind::kEdfVd;
@@ -140,6 +149,20 @@ struct SimResult {
     return sum;
   }
 };
+
+/// The engine's default horizon: 20x the longest period in the set.
+[[nodiscard]] double default_horizon(const TaskSet& ts);
+
+/// Exact hyperperiod (LCM of the periods) when every period is integral
+/// (within 1e-9 relative tolerance) and the LCM is exactly representable as
+/// a double (< 2^53; the running LCM is overflow-checked in 64-bit integer
+/// arithmetic).  Returns nullopt otherwise.  Deterministic: depends only on
+/// the multiset of periods.
+[[nodiscard]] std::optional<double> integral_hyperperiod(const TaskSet& ts);
+
+/// integral_hyperperiod when it exists, else default_horizon (the 20x
+/// fallback) — the horizon simulate() uses under use_hyperperiod_horizon.
+[[nodiscard]] double hyperperiod_horizon(const TaskSet& ts);
 
 /// Simulates the complete partition.  Unassigned tasks are ignored (callers
 /// normally pass complete partitions).  `sink` receives events when non-null.

@@ -1,0 +1,114 @@
+#include "mcs/verify/corpus.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mcs/io/taskset_io.hpp"
+#include "mcs/partition/registry.hpp"
+#include "mcs/verify/oracle.hpp"
+
+namespace mcs::verify {
+
+namespace {
+
+constexpr const char* kMetaPrefix = "# fuzz:";
+constexpr const char* kNotePrefix = "# note:";
+
+void parse_meta_line(const std::string& line, CorpusMeta& meta,
+                     const std::string& path) {
+  std::istringstream is(line.substr(std::string(kMetaPrefix).size()));
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("corpus: " + path +
+                               ": malformed metadata token '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "target") {
+      if (value != "soundness" && value != "differential" && value != "io") {
+        throw std::runtime_error("corpus: " + path + ": unknown target '" +
+                                 value + "'");
+      }
+      meta.target = value;
+    } else if (key == "scheme") {
+      meta.scheme = value;
+    } else if (key == "cores") {
+      meta.num_cores = static_cast<std::size_t>(std::stoull(value));
+      if (meta.num_cores == 0) {
+        throw std::runtime_error("corpus: " + path + ": cores must be >= 1");
+      }
+    } else if (key == "seed") {
+      meta.seed = std::stoull(value);
+    } else {
+      throw std::runtime_error("corpus: " + path + ": unknown metadata key '" +
+                               key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+CorpusCase load_corpus_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("corpus: cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  CorpusMeta meta;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(kMetaPrefix, 0) == 0) {
+      parse_meta_line(line, meta, path);
+    } else if (line.rfind(kNotePrefix, 0) == 0) {
+      meta.note = line.substr(std::string(kNotePrefix).size() + 1);
+    }
+    content << line << '\n';
+  }
+  std::istringstream body(content.str());
+  return CorpusCase{std::move(meta), io::read_taskset(body)};
+}
+
+void save_corpus_case(const std::string& path, const CorpusCase& c) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("corpus: cannot open '" + path +
+                             "' for writing");
+  }
+  out << kMetaPrefix << " target=" << c.meta.target;
+  if (c.meta.target == "soundness") out << " scheme=" << c.meta.scheme;
+  out << " cores=" << c.meta.num_cores << " seed=" << c.meta.seed << '\n';
+  if (!c.meta.note.empty()) out << kNotePrefix << ' ' << c.meta.note << '\n';
+  io::write_taskset(out, c.ts);
+}
+
+CheckResult replay(const CorpusCase& c) {
+  if (c.meta.target == "io") {
+    return check_io_roundtrip(c.ts, c.meta.num_cores, c.meta.seed);
+  }
+  if (c.meta.target == "differential") {
+    if (CheckResult r = run_differential(c.ts, c.meta.num_cores, c.meta.seed);
+        !r.ok) {
+      return r;
+    }
+    return check_io_roundtrip(c.ts, c.meta.num_cores, c.meta.seed);
+  }
+  // Soundness: re-partition with the accepting scheme and re-run the oracle.
+  const auto scheme = partition::make_scheme(c.meta.scheme);
+  const partition::PartitionResult result =
+      scheme->run(c.ts, c.meta.num_cores);
+  if (!result.success) {
+    return {};  // the analysis now (correctly) rejects the set
+  }
+  const SoundnessOracle oracle(
+      options_for_scheme(c.meta.scheme, result.partition, c.meta.seed));
+  const OracleVerdict verdict = oracle.check(result.partition);
+  if (!verdict.sound) {
+    return CheckResult{false, "soundness: " + verdict.describe()};
+  }
+  return {};
+}
+
+}  // namespace mcs::verify

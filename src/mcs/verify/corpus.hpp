@@ -1,0 +1,58 @@
+// Corpus files: shrunk reproducers that replay through the verify oracles.
+//
+// A corpus file is a regular task-set file (io/taskset_io.hpp) whose comment
+// header carries replay metadata:
+//
+//   # fuzz: target=soundness scheme=CA-TPA cores=2 seed=7
+//   # note: found by mcs_fuzz --target=soundness --seed=42 (trial 1234)
+//   K 2
+//   task 0 20 4 9
+//   ...
+//
+// Recognized keys: target (soundness|differential|io), cores, seed, scheme
+// (soundness only; any name partition::make_scheme accepts).  Because the
+// metadata lives in comments, every corpus file is also a plain task-set
+// file any other tool can load.
+//
+// tests/corpus/ holds the standing corpus; corpus_replay_test replays every
+// file through replay() on each ctest run, and the fuzz driver appends new
+// shrunk findings to the directory named by FuzzOptions::corpus_dir.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mcs/core/taskset.hpp"
+#include "mcs/verify/differential.hpp"
+
+namespace mcs::verify {
+
+struct CorpusMeta {
+  std::string target = "soundness";  ///< soundness | differential | io
+  std::string scheme = "CA-TPA";     ///< accepting scheme (soundness only)
+  std::size_t num_cores = 2;
+  std::uint64_t seed = 1;
+  std::string note;
+};
+
+struct CorpusCase {
+  CorpusMeta meta;
+  TaskSet ts;
+};
+
+/// Parses a corpus file (metadata comments + task set).  Throws
+/// std::runtime_error on malformed input or unknown metadata keys.
+[[nodiscard]] CorpusCase load_corpus_case(const std::string& path);
+
+/// Serializes a corpus case (round-trips through load_corpus_case).
+void save_corpus_case(const std::string& path, const CorpusCase& c);
+
+/// Replays a case through the oracle its target names.  ok means the
+/// current tree handles the reproducer correctly:
+///   * soundness    -- the named scheme either rejects the set or the
+///                     accepted partition survives the SoundnessOracle;
+///   * differential -- run_differential + the io round-trip pass;
+///   * io           -- the io round-trip passes.
+[[nodiscard]] CheckResult replay(const CorpusCase& c);
+
+}  // namespace mcs::verify

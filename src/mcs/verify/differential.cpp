@@ -1,0 +1,349 @@
+#include "mcs/verify/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "mcs/analysis/amc_rta.hpp"
+#include "mcs/analysis/core_util.hpp"
+#include "mcs/analysis/dbf.hpp"
+#include "mcs/analysis/edfvd.hpp"
+#include "mcs/analysis/placement.hpp"
+#include "mcs/gen/rng.hpp"
+#include "mcs/io/taskset_io.hpp"
+#include "mcs/partition/dbf_ffd.hpp"
+#include "mcs/partition/fp_amc.hpp"
+#include "mcs/partition/registry.hpp"
+
+namespace mcs::verify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative comparison that treats two infinities of the same sign as equal.
+bool close(double a, double b, double tol = 1e-9) {
+  if (a == b) return true;  // covers +-inf and exact matches
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+CheckResult fail(std::string detail) {
+  return CheckResult{false, std::move(detail)};
+}
+
+/// Rebuilds a core's UtilMatrix from scratch out of its member list.
+UtilMatrix rebuild(const TaskSet& ts, const std::vector<std::size_t>& members) {
+  UtilMatrix m(ts.num_levels());
+  for (const std::size_t t : members) m.add(ts[t]);
+  return m;
+}
+
+/// Compares an incrementally-maintained matrix against a from-scratch one.
+/// Incremental remove is floating-point subtraction, so the comparison is
+/// tolerance-based, not bitwise.
+bool matrices_agree(const UtilMatrix& incremental, const UtilMatrix& scratch,
+                    std::string& why) {
+  if (incremental.size() != scratch.size()) {
+    why = "task count mismatch";
+    return false;
+  }
+  for (Level j = 1; j <= scratch.num_levels(); ++j) {
+    for (Level k = 1; k <= j; ++k) {
+      if (!close(incremental.level_util(j, k), scratch.level_util(j, k))) {
+        std::ostringstream os;
+        os << "U_" << j << "(" << k << ") " << incremental.level_util(j, k)
+           << " vs " << scratch.level_util(j, k);
+        why = os.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckResult check_engine_consistency(const TaskSet& ts, std::size_t num_cores,
+                                     std::uint64_t seed) {
+  analysis::PlacementEngine engine(ts, num_cores);
+  std::vector<std::vector<std::size_t>> members(num_cores);
+  std::vector<std::size_t> core_of(ts.size(), kUnassigned);
+  gen::Rng rng(gen::derive_seed(seed, 0xE16));
+
+  const auto naive_util = [&](std::size_t core) {
+    return analysis::core_utilization(rebuild(ts, members[core]),
+                                      analysis::ProbePolicy::kMinOverFeasible);
+  };
+
+  const auto verify_state = [&](const char* when) -> CheckResult {
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      std::string why;
+      if (!matrices_agree(engine.partition().utils_on(m),
+                          rebuild(ts, members[m]), why)) {
+        std::ostringstream os;
+        os << "engine/" << when << ": core " << m << " matrix diverged ("
+           << why << ")";
+        return fail(os.str());
+      }
+      const double load = rebuild(ts, members[m]).own_level_sum();
+      if (!close(engine.load(m), load)) {
+        std::ostringstream os;
+        os << "engine/" << when << ": core " << m << " load "
+           << engine.load(m) << " vs scratch " << load;
+        return fail(os.str());
+      }
+    }
+    // The running min/max tracker vs. a direct scan of the cached utils.
+    double max_u = 0.0;
+    double min_u = kInf;
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      max_u = std::max(max_u, engine.util(m));
+      min_u = std::min(min_u, engine.util(m));
+    }
+    const double direct = max_u > 0.0 ? (max_u - min_u) / max_u : 0.0;
+    if (!close(engine.imbalance(), direct)) {
+      std::ostringstream os;
+      os << "engine/" << when << ": imbalance " << engine.imbalance()
+         << " vs direct " << direct;
+      return fail(os.str());
+    }
+    return {};
+  };
+
+  const std::size_t steps = 4 * ts.size() + 8;
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Occasionally tear a task back out (exercises remove + stale-cache
+    // repair, the path CA-TPA-R uses).
+    if (engine.partition().assigned_count() > 0 && rng.bernoulli(0.25)) {
+      std::size_t t = rng.uniform_int(0, ts.size() - 1);
+      while (core_of[t] == kUnassigned) t = (t + 1) % ts.size();
+      const std::size_t m = core_of[t];
+      engine.uncommit(t);
+      std::erase(members[m], t);
+      core_of[t] = kUnassigned;
+      engine.set_util(m, naive_util(m));
+      if (CheckResult r = verify_state("uncommit"); !r.ok) return r;
+      continue;
+    }
+    if (engine.partition().assigned_count() == ts.size()) break;
+    std::size_t t = rng.uniform_int(0, ts.size() - 1);
+    while (core_of[t] != kUnassigned) t = (t + 1) % ts.size();
+    const std::size_t m = rng.uniform_int(0, num_cores - 1);
+
+    // Reference probe: the allocation-per-call free function, evaluated on
+    // the engine's own partition state.  (A freshly rebuilt mirror would
+    // carry a different floating-point summation history, and near the
+    // theta <= mu boundary that genuinely flips feasibility — the
+    // incremental-vs-scratch comparison is the tolerance-based one in
+    // verify_state.)
+    const Partition& ref = engine.partition();
+    const analysis::ProbePolicy policies[] = {
+        analysis::ProbePolicy::kFirstFeasible,
+        analysis::ProbePolicy::kMinOverFeasible,
+        analysis::ProbePolicy::kMaxOverFeasible};
+    for (const analysis::ProbePolicy policy : policies) {
+      const analysis::ProbeResult a = engine.probe(t, m, policy);
+      const analysis::ProbeResult b =
+          analysis::probe_assignment(ref, t, m, engine.util(m), policy);
+      if (a.feasible != b.feasible || !close(a.new_util, b.new_util) ||
+          !close(a.increment, b.increment)) {
+        std::ostringstream os;
+        os << "engine/probe: task " << t << " core " << m << " policy "
+           << static_cast<int>(policy) << ": engine {" << a.feasible << ", "
+           << a.new_util << ", " << a.increment << "} vs reference {"
+           << b.feasible << ", " << b.new_util << ", " << b.increment << "}";
+        return fail(os.str());
+      }
+    }
+
+    // probe_fits vs. an independent basic/improved evaluation of the same
+    // hypothetical matrix (same FP state, so any disagreement is logic).
+    UtilMatrix hyp = engine.partition().utils_on(m);
+    hyp.add(ts[t]);
+    const bool fits_scratch = analysis::basic_test(hyp) ||
+                              analysis::improved_test(hyp).schedulable;
+    if (engine.probe_fits(t, m) != fits_scratch) {
+      std::ostringstream os;
+      os << "engine/probe_fits: task " << t << " core " << m
+         << " disagrees with from-scratch test (" << !fits_scratch
+         << " expected " << fits_scratch << ")";
+      return fail(os.str());
+    }
+
+    const analysis::ProbeResult decide =
+        engine.probe(t, m, analysis::ProbePolicy::kMinOverFeasible);
+    if (decide.feasible && rng.bernoulli(0.8)) {
+      engine.commit(t, m, decide.new_util);
+      members[m].push_back(t);
+      core_of[t] = m;
+      // The cached utilization must equal the core utilization recomputed
+      // from the now-committed matrix (identical FP history to the probe's
+      // scratch, so this comparison is exact-by-construction).
+      const double recomputed = analysis::core_utilization(
+          engine.partition().utils_on(m),
+          analysis::ProbePolicy::kMinOverFeasible);
+      if (!close(engine.util(m), recomputed)) {
+        std::ostringstream os;
+        os << "engine/commit: core " << m << " cached util " << engine.util(m)
+           << " vs recomputed " << recomputed;
+        return fail(os.str());
+      }
+      if (CheckResult r = verify_state("commit"); !r.ok) return r;
+    }
+  }
+  return {};
+}
+
+CheckResult check_test_dominance(const TaskSet& ts, std::uint64_t seed) {
+  gen::Rng rng(gen::derive_seed(seed, 0xD0));
+  // The whole set first, then random subsets.
+  for (std::size_t round = 0; round < 16; ++round) {
+    UtilMatrix m(ts.num_levels());
+    std::size_t picked = 0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (round == 0 || rng.bernoulli(0.4)) {
+        m.add(ts[i]);
+        ++picked;
+      }
+    }
+    if (picked == 0) continue;
+    const bool basic = analysis::basic_test(m);
+    const analysis::Theorem1Result improved = analysis::improved_test(m);
+    if (basic && !improved.schedulable) {
+      std::ostringstream os;
+      os << "dominance: Eq.(4) accepts a " << picked
+         << "-task subset Theorem 1 rejects (round " << round << ")";
+      return fail(os.str());
+    }
+    if (ts.num_levels() == 2 &&
+        analysis::dual_test(m) != improved.schedulable) {
+      std::ostringstream os;
+      os << "dominance: Eq.(7) and Theorem 1 disagree on a " << picked
+         << "-task dual-criticality subset (round " << round << ")";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+CheckResult check_scheme_claims(const TaskSet& ts, std::size_t num_cores) {
+  // The EDF-VD line-up: claimed success means every core passes the gating
+  // Eq.(4)-or-Theorem-1 test recomputed from scratch.
+  std::vector<std::string> names = {"WFD",    "FFD",     "BFD",
+                                    "Hybrid", "CA-TPA",  "CA-TPA-R"};
+  if (ts.num_levels() == 2) {
+    names.emplace_back("FP-AMC");
+    names.emplace_back("DBF-FFD");
+  }
+  for (const std::string& name : names) {
+    const auto scheme = partition::make_scheme(name);
+    const partition::PartitionResult result = scheme->run(ts, num_cores);
+    if (!result.success) {
+      if (result.partition.complete()) {
+        return fail("claims: " + name +
+                    " reported failure with a complete partition");
+      }
+      if (!result.failed_task.has_value()) {
+        return fail("claims: " + name + " reported failure without a "
+                    "failed task");
+      }
+      continue;
+    }
+    if (!result.partition.complete()) {
+      return fail("claims: " + name +
+                  " claimed success with an incomplete partition");
+    }
+    // Structural invariant: core_of and tasks_on must be two views of the
+    // same assignment.
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      for (const std::size_t t : result.partition.tasks_on(m)) {
+        if (result.partition.core_of(t) != m) {
+          return fail("claims: " + name + " partition views disagree");
+        }
+      }
+    }
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      const std::vector<std::size_t>& members = result.partition.tasks_on(m);
+      if (members.empty()) continue;
+      bool core_ok = true;
+      if (name == "FP-AMC") {
+        // DM is the partitioner's default assignment; Audsley dominates DM,
+        // so a DM-accepted core must also pass the from-scratch DM test.
+        core_ok = analysis::amc_rtb_test(ts, members).schedulable;
+      } else if (name == "DBF-FFD") {
+        core_ok = analysis::dbf_dual_test(ts, members).schedulable;
+      } else {
+        const UtilMatrix m_scratch = rebuild(ts, members);
+        core_ok = analysis::basic_test(m_scratch) ||
+                  analysis::improved_test(m_scratch).schedulable;
+      }
+      if (!core_ok) {
+        std::ostringstream os;
+        os << "claims: " << name << " claimed success but core " << m << " ("
+           << members.size() << " tasks) fails the from-scratch analysis";
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+CheckResult check_io_roundtrip(const TaskSet& ts, std::size_t num_cores,
+                               std::uint64_t seed) {
+  std::ostringstream out;
+  io::write_taskset(out, ts);
+  std::istringstream in(out.str());
+  const TaskSet parsed = io::read_taskset(in);
+  if (parsed.size() != ts.size()) {
+    return fail("io: task count changed across round-trip");
+  }
+  if (parsed.num_levels() != ts.num_levels()) {
+    return fail("io: K changed across round-trip");
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!(parsed[i] == ts[i])) {
+      std::ostringstream os;
+      os << "io: task " << ts[i].id()
+         << " not bit-identical across round-trip";
+      return fail(os.str());
+    }
+  }
+
+  // A random partial partition (unassigned tasks stay unassigned).
+  gen::Rng rng(gen::derive_seed(seed, 0x10));
+  Partition partition(ts, num_cores);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (rng.bernoulli(0.8)) {
+      partition.assign(i, rng.uniform_int(0, num_cores - 1));
+    }
+  }
+  std::ostringstream pout;
+  io::write_partition(pout, partition);
+  std::istringstream pin(pout.str());
+  const Partition reparsed = io::read_partition(pin, ts);
+  if (reparsed.num_cores() != partition.num_cores()) {
+    return fail("io: core count changed across partition round-trip");
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (reparsed.core_of(i) != partition.core_of(i)) {
+      std::ostringstream os;
+      os << "io: task " << ts[i].id() << " assignment changed across "
+         << "partition round-trip";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+CheckResult run_differential(const TaskSet& ts, std::size_t num_cores,
+                             std::uint64_t seed) {
+  if (CheckResult r = check_engine_consistency(ts, num_cores, seed); !r.ok) {
+    return r;
+  }
+  if (CheckResult r = check_test_dominance(ts, seed); !r.ok) return r;
+  return check_scheme_claims(ts, num_cores);
+}
+
+}  // namespace mcs::verify

@@ -1,0 +1,63 @@
+// Differential checkers: two independent computations of the same fact must
+// agree.
+//
+// Each checker pits a fast/incremental/claimed result against a naive
+// from-scratch recomputation:
+//
+//   * engine consistency -- a random probe/commit/uncommit workout of
+//     analysis::PlacementEngine, cross-checked after every step against
+//     UtilMatrix instances rebuilt from the member lists and against the
+//     allocation-per-call probe_assignment reference;
+//   * test dominance     -- Eq. (4) acceptance must imply Theorem 1
+//     acceptance (the improved test accepts a superset), and for K == 2 the
+//     improved test must coincide with the paper's Eq. (7) dual test;
+//   * scheme claims      -- every partitioner's claimed success is re-judged
+//     by re-running the gating analysis from scratch on each core's final
+//     subset (Theorem 1 for the EDF-VD schemes, AMC-rtb for FP-AMC, the DBF
+//     test for DBF-FFD), plus structural partition invariants;
+//   * io round-trip      -- write_taskset/read_taskset and
+//     write_partition/read_partition must be lossless (including unassigned
+//     tasks).
+//
+// Checkers return ok/detail rather than asserting so the fuzz driver can
+// shrink a failing input and the corpus replayer can report it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::verify {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  ///< empty when ok; names the disagreement otherwise
+};
+
+/// Random PlacementEngine workout vs. from-scratch recomputation.
+[[nodiscard]] CheckResult check_engine_consistency(const TaskSet& ts,
+                                                   std::size_t num_cores,
+                                                   std::uint64_t seed);
+
+/// basic => improved dominance on the whole set and on random subsets; for
+/// K == 2 additionally improved <=> dual (Eq. 7).
+[[nodiscard]] CheckResult check_test_dominance(const TaskSet& ts,
+                                               std::uint64_t seed);
+
+/// Re-judges every scheme's claimed success/failure on (ts, num_cores).
+[[nodiscard]] CheckResult check_scheme_claims(const TaskSet& ts,
+                                              std::size_t num_cores);
+
+/// Task-set and partition serialization round-trips exactly.
+[[nodiscard]] CheckResult check_io_roundtrip(const TaskSet& ts,
+                                             std::size_t num_cores,
+                                             std::uint64_t seed);
+
+/// Runs engine consistency, dominance and scheme claims (the "differential"
+/// fuzz target); returns the first failure.
+[[nodiscard]] CheckResult run_differential(const TaskSet& ts,
+                                           std::size_t num_cores,
+                                           std::uint64_t seed);
+
+}  // namespace mcs::verify

@@ -1,0 +1,113 @@
+// SoundnessOracle: hunts for deadline misses in partitions an analysis
+// accepted.
+//
+// The paper's claims are safety claims: whenever the improved EDF-VD test
+// (Theorem 1) or the AMC-rtb response-time analysis accepts a partition, the
+// matching runtime protocol must never miss a deadline under *any* execution
+// behaviour.  The oracle operationalizes "any" as a battery of adversarial
+// scenario families run through the event-driven engine:
+//
+//   * fixed-level sweeps      -- every task at its level-k budget, k = 1..K
+//                                (the uniform storms the property test used);
+//   * single-task escalation  -- exactly one task overruns to its own-level
+//                                WCET while the rest stay nominal (one trial
+//                                per task, asymmetric interference);
+//   * threshold overruns      -- one task creeps just past an intermediate
+//                                budget, switching the mode as late as
+//                                possible (one trial per task and level);
+//   * random batches          -- seeded RandomScenario draws at several
+//                                escalation probabilities;
+//   * sporadic jitter         -- the random batches re-run with release
+//                                jitter (every analysis here is a sporadic
+//                                analysis, so accepted sets must tolerate it);
+//   * exact hyperperiod       -- for integral-period sets whose LCM is small
+//                                enough, the sweeps re-run over the true
+//                                hyperperiod instead of the 20x default.
+//
+// Any miss found is a counterexample to the accepting analysis (or to the
+// engine) and is reported with the scenario that produced it so the fuzz
+// driver can shrink and replay it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcs/sim/engine.hpp"
+
+namespace mcs::verify {
+
+/// Which runtime protocol the accepting analysis targets.
+enum class RuntimeKind {
+  kEdfVd,          ///< partitioned EDF-VD (Theorem 1 / DBF analyses)
+  kFixedPriority,  ///< partitioned fixed-priority AMC (AMC-rtb)
+};
+
+struct OracleOptions {
+  RuntimeKind runtime = RuntimeKind::kEdfVd;
+  std::uint64_t seed = 1;
+  /// RandomScenario draws per escalation probability in {0.1, 0.3, 0.5, 0.9}.
+  std::size_t random_batches = 2;
+  bool fixed_level_sweep = true;
+  bool single_task_escalations = true;
+  bool threshold_overruns = true;
+  /// Cap on targeted per-task trials (escalation/threshold families scale
+  /// with the task count; large sets get a seeded sample instead).
+  std::size_t max_targeted_tasks = 24;
+  /// Jitter factors for the sporadic re-runs; empty disables the family.
+  std::vector<double> jitter_sweep = {0.25, 1.0};
+  /// Re-run the sweeps over the exact hyperperiod when the set has one and
+  /// it does not exceed max_exact_horizon (see sim::integral_hyperperiod).
+  bool exact_hyperperiod = true;
+  double max_exact_horizon = 100000.0;
+  /// Stop at the first counterexample (the shrinker's predicate only needs
+  /// one); when false every family reports its first miss.
+  bool stop_at_first = true;
+  /// Per-task LO-mode virtual-deadline scales forwarded to the engine
+  /// (dual-criticality only) — required when the accepting analysis is the
+  /// DBF test, whose acceptance is tied to the scales it chose.
+  std::vector<double> dual_scales;
+};
+
+/// One observed soundness violation: the scenario family + parameters that
+/// produced it and the first deadline miss of the run.
+struct CounterExample {
+  std::string scenario;  ///< human-readable, e.g. "single-task-escalation id=3"
+  sim::DeadlineMiss miss;
+};
+
+struct OracleVerdict {
+  bool sound = true;
+  std::vector<CounterExample> counterexamples;
+  std::size_t scenarios_run = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class SoundnessOracle {
+ public:
+  explicit SoundnessOracle(OracleOptions options = {});
+
+  /// Runs the full battery against `partition` (which some analysis
+  /// accepted).  A returned counterexample means the accepting analysis (or
+  /// the engine) is unsound for this input.
+  [[nodiscard]] OracleVerdict check(const Partition& partition) const;
+
+  [[nodiscard]] const OracleOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  OracleOptions options_;
+};
+
+/// Oracle options matched to the scheme that accepted `partition`: FP-AMC
+/// partitions run under the fixed-priority engine, and DBF-accepted
+/// partitions execute the per-core deadline scales the DBF analysis chose
+/// (re-derived from each core's final subset).
+[[nodiscard]] OracleOptions options_for_scheme(const std::string& scheme,
+                                               const Partition& partition,
+                                               std::uint64_t seed);
+
+}  // namespace mcs::verify
+

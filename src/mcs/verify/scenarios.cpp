@@ -1,0 +1,47 @@
+#include "mcs/verify/scenarios.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::verify {
+
+SingleTaskEscalationScenario::SingleTaskEscalationScenario(
+    std::size_t target_task_id, Level base)
+    : target_id_(target_task_id), base_(base) {
+  if (base_ < 1) {
+    throw std::invalid_argument(
+        "SingleTaskEscalationScenario: base level must be >= 1");
+  }
+}
+
+double SingleTaskEscalationScenario::execution_time(
+    const McTask& task, std::uint64_t /*job*/) const {
+  if (task.id() == target_id_) return task.wcet(task.level());
+  return task.wcet(std::min(base_, task.level()));
+}
+
+ThresholdOverrunScenario::ThresholdOverrunScenario(std::size_t target_task_id,
+                                                   Level threshold,
+                                                   double epsilon)
+    : target_id_(target_task_id), threshold_(threshold), epsilon_(epsilon) {
+  if (threshold_ < 1) {
+    throw std::invalid_argument(
+        "ThresholdOverrunScenario: threshold level must be >= 1");
+  }
+  if (!(epsilon_ > 0.0) || epsilon_ > 1.0) {
+    throw std::invalid_argument(
+        "ThresholdOverrunScenario: epsilon must be in (0, 1]");
+  }
+}
+
+double ThresholdOverrunScenario::execution_time(const McTask& task,
+                                                std::uint64_t /*job*/) const {
+  if (task.id() != target_id_) return task.wcet(1);
+  const Level k = std::min(threshold_, task.level());
+  if (k == task.level()) return task.wcet(k);  // no higher band to creep into
+  const double at = task.wcet(k);
+  const double next = task.wcet(k + 1);
+  return std::min(at + epsilon_ * (next - at) + 1e-12 * at, next);
+}
+
+}  // namespace mcs::verify

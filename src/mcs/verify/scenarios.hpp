@@ -1,0 +1,55 @@
+// Adversarial execution scenarios for the soundness oracle.
+//
+// The stock scenarios (sim/scenario.hpp) stress a partition uniformly: every
+// task behaves the same way.  Soundness bugs in MC schedulability tests tend
+// to hide in *asymmetric* behaviours — one task overrunning while the rest
+// stay nominal concentrates the mode-switch interference exactly where an
+// unsound test has over-promised capacity.  These scenarios are the targeted
+// counterparts the oracle sweeps in addition to the stock families.
+//
+// Like every ExecutionScenario they are pure functions of (task, job) — see
+// the determinism contract pinned in tests/sim/scenario_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "mcs/sim/scenario.hpp"
+
+namespace mcs::verify {
+
+/// Exactly one task (picked by id) overruns: its jobs all run at the full
+/// own-level WCET c_i(l_i) while every other task stays at its level-`base`
+/// budget (clamped to the task's own level).  One oracle trial per task
+/// isolates which victim's escalation breaks the analysis.
+class SingleTaskEscalationScenario final : public sim::ExecutionScenario {
+ public:
+  SingleTaskEscalationScenario(std::size_t target_task_id, Level base = 1);
+
+  [[nodiscard]] double execution_time(const McTask& task,
+                                      std::uint64_t job) const override;
+
+ private:
+  std::size_t target_id_;
+  Level base_;
+};
+
+/// The target task runs *just past* its level-`threshold` budget
+/// (c(threshold) + epsilon-fraction of the next band, capped at c(l_i)),
+/// triggering the mode switch as late as possible with minimal extra demand;
+/// other tasks run at level-1 budgets.  Exercises the switch-instant edge
+/// the AMC analyses reason about (latest-switch-time arguments).
+class ThresholdOverrunScenario final : public sim::ExecutionScenario {
+ public:
+  ThresholdOverrunScenario(std::size_t target_task_id, Level threshold,
+                           double epsilon = 1e-3);
+
+  [[nodiscard]] double execution_time(const McTask& task,
+                                      std::uint64_t job) const override;
+
+ private:
+  std::size_t target_id_;
+  Level threshold_;
+  double epsilon_;
+};
+
+}  // namespace mcs::verify

@@ -1,0 +1,174 @@
+#include "mcs/verify/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::verify {
+
+namespace {
+
+/// Mutable working form of a case (TaskSet is immutable).
+struct Working {
+  std::vector<McTask> tasks;
+  Level levels = 1;
+  std::size_t num_cores = 1;
+
+  [[nodiscard]] FuzzCase to_case() const {
+    return FuzzCase{TaskSet(tasks, levels), num_cores};
+  }
+};
+
+Working to_working(const FuzzCase& c) {
+  return Working{c.ts.tasks(), c.ts.num_levels(), c.num_cores};
+}
+
+class Shrinker {
+ public:
+  Shrinker(const FailurePredicate& predicate, const ShrinkOptions& options)
+      : predicate_(predicate), options_(options) {}
+
+  ShrinkResult run(const FuzzCase& original) {
+    Working current = to_working(original);
+    for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+      const std::size_t steps_before = steps_;
+      drop_tasks(current);
+      if (options_.reduce_cores) reduce_cores(current);
+      if (options_.reduce_levels) {
+        reduce_system_levels(current);
+        demote_tasks(current);
+      }
+      if (options_.coarsen_values) coarsen_values(current);
+      if (steps_ == steps_before || attempts_ >= options_.max_attempts) break;
+    }
+    return ShrinkResult{current.to_case(), steps_, attempts_};
+  }
+
+ private:
+  /// Evaluates the predicate on `candidate`; on success makes it current.
+  bool accept(Working& current, const Working& candidate) {
+    if (attempts_ >= options_.max_attempts) return false;
+    ++attempts_;
+    bool fails = false;
+    try {
+      fails = predicate_(candidate.to_case());
+    } catch (const std::exception&) {
+      // A reduction that makes the case malformed for the predicate's
+      // machinery (e.g. a scheme that needs K == 2) is simply not taken.
+      fails = false;
+    }
+    if (fails) {
+      current = candidate;
+      ++steps_;
+    }
+    return fails;
+  }
+
+  /// ddmin-style chunked task removal, halving chunk sizes down to 1.
+  void drop_tasks(Working& current) {
+    for (std::size_t chunk = std::max<std::size_t>(current.tasks.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      bool removed_any = true;
+      while (removed_any && current.tasks.size() > 1) {
+        removed_any = false;
+        for (std::size_t start = 0;
+             start < current.tasks.size() && current.tasks.size() > 1;) {
+          Working candidate = current;
+          const std::size_t take =
+              std::min(chunk, candidate.tasks.size() - start);
+          if (take >= candidate.tasks.size()) {  // never empty the set
+            start += take;
+            continue;
+          }
+          candidate.tasks.erase(
+              candidate.tasks.begin() + static_cast<std::ptrdiff_t>(start),
+              candidate.tasks.begin() +
+                  static_cast<std::ptrdiff_t>(start + take));
+          if (accept(current, candidate)) {
+            removed_any = true;  // same start now names the next chunk
+          } else {
+            start += take;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  void reduce_cores(Working& current) {
+    while (current.num_cores > 1) {
+      Working candidate = current;
+      --candidate.num_cores;
+      if (!accept(current, candidate)) break;
+    }
+  }
+
+  /// Truncates the whole system to K-1 levels (every WCET vector clipped).
+  void reduce_system_levels(Working& current) {
+    while (current.levels > 1) {
+      Working candidate = current;
+      --candidate.levels;
+      for (McTask& t : candidate.tasks) {
+        if (t.level() > candidate.levels) {
+          std::vector<double> wcets(t.wcets().begin(),
+                                    t.wcets().begin() + candidate.levels);
+          t = McTask(t.id(), std::move(wcets), t.period());
+        }
+      }
+      if (!accept(current, candidate)) break;
+    }
+  }
+
+  /// Truncates single tasks to their level-1 budget.
+  void demote_tasks(Working& current) {
+    for (std::size_t i = 0; i < current.tasks.size(); ++i) {
+      if (current.tasks[i].level() == 1) continue;
+      Working candidate = current;
+      const McTask& t = candidate.tasks[i];
+      candidate.tasks[i] = McTask(t.id(), {t.wcets().front()}, t.period());
+      accept(current, candidate);
+    }
+  }
+
+  /// Rounds one task's parameters up to integers: the period only grows and
+  /// the WCETs round up but stay capped at the (old, smaller) period, so the
+  /// task remains well-formed and the WCET vector stays non-decreasing.
+  void coarsen_values(Working& current) {
+    for (std::size_t i = 0; i < current.tasks.size(); ++i) {
+      const McTask& t = current.tasks[i];
+      const double period = std::ceil(t.period());
+      std::vector<double> wcets = t.wcets();
+      bool changed = period != t.period();
+      for (double& c : wcets) {
+        const double rounded = std::min(std::ceil(c), t.period());
+        changed = changed || rounded != c;
+        c = rounded;
+      }
+      if (!changed) continue;
+      Working candidate = current;
+      candidate.tasks[i] = McTask(t.id(), std::move(wcets), period);
+      accept(current, candidate);
+    }
+  }
+
+  const FailurePredicate& predicate_;
+  const ShrinkOptions& options_;
+  std::size_t steps_ = 0;
+  std::size_t attempts_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzCase& original,
+                    const FailurePredicate& still_fails,
+                    const ShrinkOptions& options) {
+  if (!still_fails(original)) {
+    throw std::invalid_argument(
+        "shrink: the failure predicate does not hold on the original case");
+  }
+  Shrinker shrinker(still_fails, options);
+  return shrinker.run(original);
+}
+
+}  // namespace mcs::verify

@@ -1,0 +1,62 @@
+// Delta-debugging counterexample minimizer.
+//
+// Given a fuzz case (task set + core count) and a failure predicate that
+// holds on it, shrink() searches for a smaller case on which the predicate
+// still holds, using reduction moves in decreasing order of aggressiveness:
+//
+//   * drop tasks      -- ddmin-style chunk removal, halving chunk sizes down
+//                        to single tasks;
+//   * reduce M        -- fewer cores;
+//   * reduce K        -- truncate every WCET vector to K-1 levels;
+//   * demote tasks    -- truncate one task's WCET vector to a single level;
+//   * coarsen values  -- round periods and WCETs up to integers (rounding up
+//                        keeps every task individually feasible: periods only
+//                        grow and WCETs stay capped at the period).
+//
+// Moves repeat to a fixpoint.  Every candidate is validated by re-running
+// the predicate, so the minimized case is guaranteed to still fail; the
+// fuzz driver serializes it into the corpus as a reproducer.  The search is
+// deterministic: no randomness, and the predicate is assumed pure.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::verify {
+
+/// One fuzzable input: the task set plus the platform size.
+struct FuzzCase {
+  TaskSet ts;
+  std::size_t num_cores = 1;
+};
+
+/// True when the failure of interest still reproduces on `candidate`.
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  /// Fixpoint rounds cap (each round tries every move class once).
+  std::size_t max_rounds = 8;
+  bool reduce_cores = true;
+  bool reduce_levels = true;
+  bool coarsen_values = true;
+  /// Hard cap on predicate evaluations (a soundness predicate simulates, so
+  /// the budget matters); the search stops early when exhausted.
+  std::size_t max_attempts = 2000;
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  std::size_t steps = 0;     ///< accepted reductions
+  std::size_t attempts = 0;  ///< predicate evaluations
+};
+
+/// Minimizes `original` (on which `still_fails` must hold) under the moves
+/// above.  Throws std::invalid_argument if the predicate rejects the
+/// original case.
+[[nodiscard]] ShrinkResult shrink(const FuzzCase& original,
+                                  const FailurePredicate& still_fails,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace mcs::verify

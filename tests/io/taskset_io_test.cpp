@@ -111,6 +111,56 @@ TEST(PartitionIoTest, RoundTrip) {
   EXPECT_EQ(parsed.core_of(2), 0u);
 }
 
+TEST(TasksetIoTest, RandomizedRoundTripProperty) {
+  // Round-tripping must be exact (bit-identical doubles, K preserved) for
+  // arbitrary generated sets, across level counts and set sizes.  The same
+  // property is the fuzzer's "io" target; this is its fixed-seed anchor.
+  for (const Level levels : {Level{1}, Level{2}, Level{4}}) {
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      gen::GenParams params;
+      params.num_levels = levels;
+      params.num_tasks = 5 + 7 * static_cast<std::size_t>(trial % 3);
+      const TaskSet original = gen::generate_trial(params, 77, trial);
+      std::ostringstream out;
+      write_taskset(out, original);
+      std::istringstream in(out.str());
+      const TaskSet parsed = read_taskset(in);
+      ASSERT_EQ(parsed.size(), original.size());
+      EXPECT_EQ(parsed.num_levels(), original.num_levels());
+      for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i], original[i])
+            << "K=" << levels << " trial=" << trial << " task " << i;
+      }
+    }
+  }
+}
+
+TEST(PartitionIoTest, RandomizedRoundTripWithUnassignedTasks) {
+  gen::Rng rng(2026);
+  for (const std::size_t cores : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    gen::GenParams params;
+    params.num_levels = 3;
+    params.num_tasks = 12;
+    const TaskSet ts = gen::generate_trial(params, 31, cores);
+    Partition p(ts, cores);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (rng.bernoulli(0.7)) {
+        p.assign(i, static_cast<std::size_t>(
+                        rng.uniform_int(0, cores - 1)));
+      }
+    }
+    std::ostringstream out;
+    write_partition(out, p);
+    std::istringstream in(out.str());
+    const Partition parsed = read_partition(in, ts);
+    ASSERT_EQ(parsed.num_cores(), cores);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_EQ(parsed.core_of(i), p.core_of(i)) << "M=" << cores << " " << i;
+    }
+  }
+}
+
 TEST(PartitionIoTest, RejectsUnknownIdsAndBadCores) {
   std::istringstream in("K 2\ntask 5 10 1 2\n");
   const TaskSet ts = read_taskset(in);

@@ -400,6 +400,49 @@ TEST(EngineTest, ScenarioContractViolationThrows) {
                std::logic_error);
 }
 
+TEST(HyperperiodTest, IntegralPeriodsYieldLcm) {
+  Rig rig({McTask(0, {1.0}, 4.0), McTask(1, {1.0}, 6.0),
+           McTask(2, {1.0}, 10.0)},
+          1);
+  const auto hp = integral_hyperperiod(rig.ts);
+  ASSERT_TRUE(hp.has_value());
+  EXPECT_DOUBLE_EQ(*hp, 60.0);
+  EXPECT_DOUBLE_EQ(hyperperiod_horizon(rig.ts), 60.0);
+}
+
+TEST(HyperperiodTest, NonIntegralPeriodFallsBackToDefault) {
+  Rig rig({McTask(0, {1.0}, 4.0), McTask(1, {1.0}, 6.5)}, 1);
+  EXPECT_FALSE(integral_hyperperiod(rig.ts).has_value());
+  EXPECT_DOUBLE_EQ(hyperperiod_horizon(rig.ts), default_horizon(rig.ts));
+  EXPECT_DOUBLE_EQ(default_horizon(rig.ts), 20.0 * 6.5);
+}
+
+TEST(HyperperiodTest, OverflowingLcmFallsBackToDefault) {
+  // Three pairwise-coprime ~1e6 periods push the LCM past 2^53, where the
+  // double LCM would no longer be exact.
+  Rig rig({McTask(0, {1.0}, 1000003.0), McTask(1, {1.0}, 1000033.0),
+           McTask(2, {1.0}, 1000037.0)},
+          1);
+  EXPECT_FALSE(integral_hyperperiod(rig.ts).has_value());
+  EXPECT_DOUBLE_EQ(hyperperiod_horizon(rig.ts), default_horizon(rig.ts));
+}
+
+TEST(HyperperiodTest, SimConfigSelectsHyperperiodHorizon) {
+  Rig rig({McTask(0, {1.0}, 4.0), McTask(1, {1.0}, 6.0)}, 1);
+  rig.assign_all_to(0);
+  const FixedLevelScenario nominal(1);
+  const SimResult hp = simulate(rig.partition, nominal,
+                                SimConfig{.use_hyperperiod_horizon = true});
+  EXPECT_DOUBLE_EQ(hp.horizon, 12.0);
+  const SimResult dflt = simulate(rig.partition, nominal, SimConfig{});
+  EXPECT_DOUBLE_EQ(dflt.horizon, 20.0 * 6.0);
+  // An explicit horizon always wins.
+  const SimResult fixed =
+      simulate(rig.partition, nominal,
+               SimConfig{.horizon = 36.0, .use_hyperperiod_horizon = true});
+  EXPECT_DOUBLE_EQ(fixed.horizon, 36.0);
+}
+
 TEST(EngineTest, TraceEventsAreTimeOrderedPerCore) {
   Rig rig({McTask(0, {2.0, 6.0}, 10.0), McTask(1, {1.0}, 5.0)}, 2);
   rig.assign_all_to(0);

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "mcs/verify/scenarios.hpp"
+
 namespace mcs::sim {
 namespace {
 
@@ -91,6 +96,92 @@ TEST(RandomScenarioTest, EscalationProbabilityRoughlyHolds) {
 TEST(RandomScenarioTest, RejectsBadProbability) {
   EXPECT_THROW(RandomScenario(1, -0.1), std::invalid_argument);
   EXPECT_THROW(RandomScenario(1, 1.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The pure-function contract: execution_time(task, job) must depend on its
+// arguments only.  The engine replays jobs (sporadic jitter re-releases, the
+// oracle re-runs scenarios over longer horizons), so any internal state would
+// silently change what "the same job" does.  These tests pin the contract for
+// every scenario family, including the verify:: adversarial ones.
+
+/// Scenarios under test, type-erased; fresh instances must agree with each
+/// other and with themselves under any query order.
+std::vector<const ExecutionScenario*> contract_scenarios(
+    std::vector<std::unique_ptr<ExecutionScenario>>& storage) {
+  storage.clear();
+  storage.push_back(std::make_unique<FixedLevelScenario>(2));
+  storage.push_back(std::make_unique<FixedLevelScenario>(3, 0.75));
+  storage.push_back(std::make_unique<RandomScenario>(99, 0.4));
+  storage.push_back(std::make_unique<verify::SingleTaskEscalationScenario>(3));
+  storage.push_back(
+      std::make_unique<verify::ThresholdOverrunScenario>(3, Level{1}));
+  std::vector<const ExecutionScenario*> out;
+  for (const auto& s : storage) out.push_back(s.get());
+  return out;
+}
+
+TEST(ScenarioContractTest, OutOfOrderAndRepeatedQueriesAgree) {
+  std::vector<std::unique_ptr<ExecutionScenario>> storage;
+  for (const ExecutionScenario* s : contract_scenarios(storage)) {
+    // Forward pass records the reference answers.
+    std::vector<double> forward;
+    for (std::uint64_t job = 0; job < 64; ++job) {
+      forward.push_back(s->execution_time(kTask, job));
+    }
+    // Backwards, interleaved and repeated queries must reproduce them.
+    for (std::uint64_t job = 64; job-- > 0;) {
+      EXPECT_DOUBLE_EQ(s->execution_time(kTask, job), forward[job]);
+    }
+    for (const std::uint64_t job : {7u, 3u, 3u, 50u, 0u, 7u}) {
+      EXPECT_DOUBLE_EQ(s->execution_time(kTask, job), forward[job]);
+    }
+  }
+}
+
+TEST(ScenarioContractTest, FreshInstancesAgree) {
+  // Two instances built from the same parameters are interchangeable: the
+  // oracle builds a scenario per probe and relies on this.
+  std::vector<std::unique_ptr<ExecutionScenario>> storage_a;
+  std::vector<std::unique_ptr<ExecutionScenario>> storage_b;
+  const auto a = contract_scenarios(storage_a);
+  const auto b = contract_scenarios(storage_b);
+  const McTask other(7, {1.0, 3.0}, 12.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::uint64_t job = 0; job < 32; ++job) {
+      EXPECT_DOUBLE_EQ(a[i]->execution_time(kTask, job),
+                       b[i]->execution_time(kTask, job));
+      EXPECT_DOUBLE_EQ(a[i]->execution_time(other, job),
+                       b[i]->execution_time(other, job));
+    }
+  }
+}
+
+TEST(ScenarioContractTest, InterleavingTasksDoesNotPerturbAnswers) {
+  const RandomScenario s(21, 0.5);
+  const McTask other(9, {1.0, 2.0}, 8.0);
+  const double ref = s.execution_time(kTask, 17);
+  for (std::uint64_t job = 0; job < 40; ++job) {
+    (void)s.execution_time(other, job);
+  }
+  EXPECT_DOUBLE_EQ(s.execution_time(kTask, 17), ref);
+}
+
+TEST(VerifyScenarioTest, SingleTaskEscalationTargetsExactlyOneTask) {
+  const verify::SingleTaskEscalationScenario s(3);
+  EXPECT_DOUBLE_EQ(s.execution_time(kTask, 0), 8.0);  // target: full c(l)
+  const McTask bystander(4, {2.0, 5.0, 8.0}, 20.0);
+  EXPECT_DOUBLE_EQ(s.execution_time(bystander, 0), 2.0);  // others: c(1)
+}
+
+TEST(VerifyScenarioTest, ThresholdOverrunCreepsJustPastBudget) {
+  const verify::ThresholdOverrunScenario s(3, Level{1});
+  const double e = s.execution_time(kTask, 0);
+  EXPECT_GT(e, 2.0);        // past c(1): forces the mode switch
+  EXPECT_LT(e, 2.1);        // ... but only barely
+  EXPECT_LE(e, 8.0);        // and never past c(l)
+  const McTask bystander(4, {2.0, 5.0}, 20.0);
+  EXPECT_DOUBLE_EQ(s.execution_time(bystander, 0), 2.0);
 }
 
 }  // namespace

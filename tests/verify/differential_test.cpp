@@ -1,0 +1,72 @@
+#include "mcs/verify/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::verify {
+namespace {
+
+TaskSet sample(std::uint64_t trial, Level levels = 3,
+               std::size_t tasks = 16) {
+  gen::GenParams params;
+  params.num_levels = levels;
+  params.num_tasks = tasks;
+  params.nsu = 0.7;
+  return gen::generate_trial(params, 23, trial);
+}
+
+TEST(EngineConsistencyTest, PassesOnGeneratedSets) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const CheckResult r = check_engine_consistency(sample(trial), 4, trial);
+    EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.detail;
+  }
+}
+
+TEST(EngineConsistencyTest, CoversSingleCoreAndSingleLevel) {
+  const CheckResult one_core = check_engine_consistency(sample(0), 1, 0);
+  EXPECT_TRUE(one_core.ok) << one_core.detail;
+  const CheckResult one_level =
+      check_engine_consistency(sample(1, Level{1}), 3, 1);
+  EXPECT_TRUE(one_level.ok) << one_level.detail;
+}
+
+TEST(TestDominanceTest, BasicImpliesImprovedOnGeneratedSets) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const CheckResult r = check_test_dominance(sample(trial), trial);
+    EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.detail;
+  }
+}
+
+TEST(TestDominanceTest, DualAgreementHoldsForTwoLevels) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const CheckResult r =
+        check_test_dominance(sample(trial, Level{2}), trial);
+    EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.detail;
+  }
+}
+
+TEST(SchemeClaimsTest, AllSchemesJudgedConsistent) {
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    // K = 2 exercises FP-AMC and DBF-FFD in addition to the EDF-VD schemes.
+    const CheckResult r2 = check_scheme_claims(sample(trial, Level{2}), 3);
+    EXPECT_TRUE(r2.ok) << "K=2 trial " << trial << ": " << r2.detail;
+    const CheckResult r4 = check_scheme_claims(sample(trial, Level{4}), 3);
+    EXPECT_TRUE(r4.ok) << "K=4 trial " << trial << ": " << r4.detail;
+  }
+}
+
+TEST(IoRoundTripTest, PassesOnGeneratedSets) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const CheckResult r = check_io_roundtrip(sample(trial), 4, trial);
+    EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.detail;
+  }
+}
+
+TEST(RunDifferentialTest, CombinesAllCheckers) {
+  const CheckResult r = run_differential(sample(3), 2, 3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+}  // namespace
+}  // namespace mcs::verify

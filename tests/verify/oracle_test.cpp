@@ -1,0 +1,96 @@
+#include "mcs/verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/partition/registry.hpp"
+
+namespace mcs::verify {
+namespace {
+
+struct Rig {
+  Rig(std::vector<McTask> tasks, Level levels, std::size_t cores = 1)
+      : ts(std::move(tasks), levels), partition(ts, cores) {}
+
+  void assign_all_to(std::size_t core) {
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, core);
+  }
+
+  TaskSet ts;
+  Partition partition;
+};
+
+TEST(SoundnessOracleTest, FlagsOverloadedSingleLevelCore) {
+  // Two util-0.6 tasks on one core: no analysis would accept this, and the
+  // very first fixed-level sweep must produce a miss.
+  Rig rig({McTask(0, {6.0}, 10.0), McTask(1, {6.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  const SoundnessOracle oracle;
+  const OracleVerdict verdict = oracle.check(rig.partition);
+  EXPECT_FALSE(verdict.sound);
+  ASSERT_FALSE(verdict.counterexamples.empty());
+  EXPECT_NE(verdict.describe().find("UNSOUND"), std::string::npos);
+}
+
+TEST(SoundnessOracleTest, FlagsHighModeOverload) {
+  // Feasible while nobody escalates (2 * 0.1), infeasible once both tasks
+  // run at their level-2 budgets (2 * 0.8): only the escalation families can
+  // see this.
+  Rig rig({McTask(0, {1.0, 8.0}, 10.0), McTask(1, {1.0, 8.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const SoundnessOracle oracle;
+  const OracleVerdict verdict = oracle.check(rig.partition);
+  EXPECT_FALSE(verdict.sound);
+}
+
+TEST(SoundnessOracleTest, AcceptsAnalysedPartitions) {
+  // Whatever CA-TPA accepts must survive the full battery (this is the
+  // paper's safety claim; a failure here is a genuine soundness bug).
+  gen::GenParams params;
+  params.num_cores = 4;
+  params.num_levels = 3;
+  params.num_tasks = 20;
+  params.nsu = 0.6;
+  params.period_classes = {{{10.0, 40.0}, {20.0, 60.0}, {40.0, 80.0}}};
+  const auto scheme = partition::make_scheme("CA-TPA");
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    const TaskSet ts = gen::generate_trial(params, 5, trial);
+    const partition::PartitionResult result = scheme->run(ts, 4);
+    if (!result.success) continue;
+    const SoundnessOracle oracle(OracleOptions{.seed = trial + 1});
+    const OracleVerdict verdict = oracle.check(result.partition);
+    EXPECT_TRUE(verdict.sound) << "trial " << trial << ": "
+                               << verdict.describe();
+    EXPECT_GT(verdict.scenarios_run, 0u);
+  }
+}
+
+TEST(SoundnessOracleTest, CountsScenariosWhenSound) {
+  Rig rig({McTask(0, {1.0, 2.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  const SoundnessOracle oracle;
+  const OracleVerdict verdict = oracle.check(rig.partition);
+  EXPECT_TRUE(verdict.sound);
+  // 2 fixed-level + 1 escalation + 1 threshold + 2 batches * 4 probs * 3
+  // (plain + 2 jitter) = at least 20; exact-hyperperiod re-runs may add more.
+  EXPECT_GE(verdict.scenarios_run, 20u);
+  EXPECT_NE(verdict.describe().find("sound"), std::string::npos);
+}
+
+TEST(OptionsForSchemeTest, MatchesRuntimeToScheme) {
+  Rig rig({McTask(0, {1.0, 2.0}, 10.0), McTask(1, {1.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  EXPECT_EQ(options_for_scheme("CA-TPA", rig.partition, 3).runtime,
+            RuntimeKind::kEdfVd);
+  EXPECT_EQ(options_for_scheme("FP-AMC", rig.partition, 3).runtime,
+            RuntimeKind::kFixedPriority);
+  const OracleOptions dbf = options_for_scheme("DBF-FFD", rig.partition, 3);
+  EXPECT_EQ(dbf.runtime, RuntimeKind::kEdfVd);
+  ASSERT_EQ(dbf.dual_scales.size(), rig.ts.size());
+  EXPECT_GT(dbf.dual_scales[0], 0.0);
+  EXPECT_LE(dbf.dual_scales[0], 1.0);
+  EXPECT_DOUBLE_EQ(dbf.dual_scales[1], 1.0);  // level-1 tasks keep x = 1
+}
+
+}  // namespace
+}  // namespace mcs::verify

@@ -1,0 +1,92 @@
+#include "mcs/verify/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::verify {
+namespace {
+
+FuzzCase sample_case(std::size_t cores = 4) {
+  gen::GenParams params;
+  params.num_levels = 3;
+  params.num_tasks = 16;
+  return FuzzCase{gen::generate_trial(params, 41, 0), cores};
+}
+
+/// "Contains at least one task with period above `limit`" — a known-minimal
+/// failure: one task, one core, one level survives.
+FailurePredicate has_long_period(double limit) {
+  return [limit](const FuzzCase& c) {
+    for (const McTask& t : c.ts) {
+      if (t.period() > limit) return true;
+    }
+    return false;
+  };
+}
+
+TEST(ShrinkTest, ReducesToSingleTaskSingleCore) {
+  const FuzzCase original = sample_case();
+  const FailurePredicate pred = has_long_period(100.0);
+  ASSERT_TRUE(pred(original));  // the generator's classes reach 2000
+  const ShrinkResult r = shrink(original, pred);
+  EXPECT_TRUE(pred(r.minimized));
+  EXPECT_EQ(r.minimized.ts.size(), 1u);
+  EXPECT_EQ(r.minimized.num_cores, 1u);
+  EXPECT_EQ(r.minimized.ts.num_levels(), 1u);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_LT(r.minimized.ts.size(), original.ts.size());
+}
+
+TEST(ShrinkTest, IsDeterministic) {
+  const FuzzCase original = sample_case();
+  const FailurePredicate pred = has_long_period(100.0);
+  const ShrinkResult a = shrink(original, pred);
+  const ShrinkResult b = shrink(original, pred);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.attempts, b.attempts);
+  ASSERT_EQ(a.minimized.ts.size(), b.minimized.ts.size());
+  for (std::size_t i = 0; i < a.minimized.ts.size(); ++i) {
+    EXPECT_EQ(a.minimized.ts[i], b.minimized.ts[i]);
+  }
+}
+
+TEST(ShrinkTest, CoarsensValuesToIntegers) {
+  const ShrinkResult r = shrink(sample_case(), has_long_period(100.0));
+  for (const McTask& t : r.minimized.ts) {
+    EXPECT_DOUBLE_EQ(t.period(), std::ceil(t.period()));
+  }
+}
+
+TEST(ShrinkTest, KeepsMultiTaskFailuresIntact) {
+  // "Total level-1 utilization exceeds 1" cannot shrink to a single
+  // generated task (each task's utilization is well below 1), so the
+  // minimizer must stop at a still-failing multi-task core.
+  const FuzzCase original = sample_case();
+  const FailurePredicate pred = [](const FuzzCase& c) {
+    return c.ts.total_util(1) > 1.0;
+  };
+  if (!pred(original)) GTEST_SKIP() << "draw too light for this predicate";
+  const ShrinkResult r = shrink(original, pred);
+  EXPECT_TRUE(pred(r.minimized));
+  EXPECT_GT(r.minimized.ts.size(), 1u);
+}
+
+TEST(ShrinkTest, RejectsPassingOriginal) {
+  EXPECT_THROW(
+      (void)shrink(sample_case(), [](const FuzzCase&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(ShrinkTest, RespectsAttemptBudget) {
+  ShrinkOptions options;
+  options.max_attempts = 5;
+  const ShrinkResult r =
+      shrink(sample_case(), has_long_period(100.0), options);
+  EXPECT_LE(r.attempts, 6u);  // the budget plus the initial validation
+}
+
+}  // namespace
+}  // namespace mcs::verify

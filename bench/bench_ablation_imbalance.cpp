@@ -1,20 +1,7 @@
 // Ablation A1: how much does CA-TPA's workload-imbalance fallback matter?
 // Compares CA-TPA without balancing against several alpha settings.
-#include "ablation_main.hpp"
+#include "spec_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mcs::partition;
-  return mcs::bench::ablation_main(
-      argc, argv, "Ablation A1 - imbalance control", [](double /*alpha*/) {
-        PartitionerList out;
-        out.push_back(std::make_unique<CaTpaPartitioner>(
-            CaTpaOptions{.use_imbalance_control = false}));
-        for (double a : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-          out.push_back(std::make_unique<CaTpaPartitioner>(CaTpaOptions{
-              .alpha = a,
-              .display_name =
-                  "CA-TPA(a=" + mcs::util::format_double(a, 1) + ")"}));
-        }
-        return out;
-      });
+  return mcs::bench::spec_main(argc, argv, "a1", /*figure_style=*/false);
 }

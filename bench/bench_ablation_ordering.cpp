@@ -1,20 +1,8 @@
 // Ablation A2: utilization-contribution ordering (the paper's Sec. III-A
 // contribution) vs the classical max-utilization ordering, with everything
 // else in CA-TPA held fixed.
-#include "ablation_main.hpp"
+#include "spec_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mcs::partition;
-  return mcs::bench::ablation_main(
-      argc, argv, "Ablation A2 - task ordering", [](double alpha) {
-        PartitionerList out;
-        out.push_back(std::make_unique<CaTpaPartitioner>(CaTpaOptions{
-            .alpha = alpha, .display_name = "CA-TPA(contrib)"}));
-        out.push_back(std::make_unique<CaTpaPartitioner>(
-            CaTpaOptions{.alpha = alpha,
-                         .order_by_contribution = false,
-                         .display_name = "CA-TPA(maxutil)"}));
-        out.push_back(std::make_unique<ClassicPartitioner>(FitRule::kFirst));
-        return out;
-      });
+  return mcs::bench::spec_main(argc, argv, "a2", /*figure_style=*/false);
 }

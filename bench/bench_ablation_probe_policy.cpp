@@ -1,26 +1,8 @@
 // Ablation A3: Eq. (9b)'s fold over feasible conditions.  The paper prints
 // "max" (conservative); the OCR makes the operator ambiguous, so this bench
 // quantifies how much the choice matters.
-#include "ablation_main.hpp"
+#include "spec_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mcs::partition;
-  using mcs::analysis::ProbePolicy;
-  return mcs::bench::ablation_main(
-      argc, argv, "Ablation A3 - probe policy", [](double alpha) {
-        PartitionerList out;
-        out.push_back(std::make_unique<CaTpaPartitioner>(CaTpaOptions{
-            .alpha = alpha,
-            .probe_policy = ProbePolicy::kMinOverFeasible,
-            .display_name = "CA-TPA(min)"}));
-        out.push_back(std::make_unique<CaTpaPartitioner>(CaTpaOptions{
-            .alpha = alpha,
-            .probe_policy = ProbePolicy::kFirstFeasible,
-            .display_name = "CA-TPA(first)"}));
-        out.push_back(std::make_unique<CaTpaPartitioner>(CaTpaOptions{
-            .alpha = alpha,
-            .probe_policy = ProbePolicy::kMaxOverFeasible,
-            .display_name = "CA-TPA(max)"}));
-        return out;
-      });
+  return mcs::bench::spec_main(argc, argv, "a3", /*figure_style=*/false);
 }

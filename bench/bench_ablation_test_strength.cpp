@@ -1,21 +1,8 @@
 // Ablation A4: the schedulability test gating placements.  The paper's
 // baselines use Eq. (4) with a Theorem-1 fallback; this bench shows how much
 // the improved test lifts each classical heuristic over Eq. (4) alone.
-#include "ablation_main.hpp"
+#include "spec_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mcs::partition;
-  return mcs::bench::ablation_main(
-      argc, argv, "Ablation A4 - test strength", [](double /*alpha*/) {
-        PartitionerList out;
-        out.push_back(std::make_unique<ClassicPartitioner>(
-            FitRule::kFirst, TestStrength::kBasicOnly));
-        out.push_back(std::make_unique<ClassicPartitioner>(
-            FitRule::kFirst, TestStrength::kBasicThenImproved));
-        out.push_back(std::make_unique<ClassicPartitioner>(
-            FitRule::kWorst, TestStrength::kBasicOnly));
-        out.push_back(std::make_unique<ClassicPartitioner>(
-            FitRule::kWorst, TestStrength::kBasicThenImproved));
-        return out;
-      });
+  return mcs::bench::spec_main(argc, argv, "a4", /*figure_style=*/false);
 }

@@ -1,11 +1,5 @@
 // Reproduces paper Fig. 1: scheme performance vs normalized system
 // utilization (NSU in 0.4..0.8; M=8, K=4, alpha=0.7, IFC=0.4).
-#include "figure_main.hpp"
+#include "spec_main.hpp"
 
-int main(int argc, char** argv) {
-  return mcs::bench::figure_main(
-      argc, argv, "Figure 1 - varying NSU",
-      [](const mcs::gen::GenParams& base, double alpha) {
-        return mcs::exp::make_fig1_nsu(base, alpha);
-      });
-}
+int main(int argc, char** argv) { return mcs::bench::spec_main(argc, argv, "fig1"); }

@@ -1,11 +1,5 @@
 // Reproduces paper Fig. 2: scheme performance vs the WCET increment factor
-// (IFC in 0.3..0.7; M=8, K=4, NSU=0.6, alpha=0.7).
-#include "figure_main.hpp"
+// (IFC in 0.3..0.7; M=8, K=4, alpha=0.7, NSU=0.6).
+#include "spec_main.hpp"
 
-int main(int argc, char** argv) {
-  return mcs::bench::figure_main(
-      argc, argv, "Figure 2 - varying IFC",
-      [](const mcs::gen::GenParams& base, double alpha) {
-        return mcs::exp::make_fig2_ifc(base, alpha);
-      });
-}
+int main(int argc, char** argv) { return mcs::bench::spec_main(argc, argv, "fig2"); }

@@ -1,12 +1,6 @@
 // Reproduces paper Fig. 3: scheme performance vs CA-TPA's imbalance
 // threshold (alpha in 0.1..0.9; only CA-TPA depends on alpha, so the
 // baselines stay flat across the sweep).
-#include "figure_main.hpp"
+#include "spec_main.hpp"
 
-int main(int argc, char** argv) {
-  return mcs::bench::figure_main(
-      argc, argv, "Figure 3 - varying alpha",
-      [](const mcs::gen::GenParams& base, double /*alpha*/) {
-        return mcs::exp::make_fig3_alpha(base);
-      });
-}
+int main(int argc, char** argv) { return mcs::bench::spec_main(argc, argv, "fig3"); }

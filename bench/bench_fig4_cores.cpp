@@ -1,11 +1,5 @@
 // Reproduces paper Fig. 4: scheme performance vs the number of cores
-// (M in {2,4,8,16,32}; K=4, NSU=0.6, alpha=0.7, IFC=0.4).
-#include "figure_main.hpp"
+// (M in {2,4,8,16,32}; K=4, alpha=0.7, NSU=0.6, IFC=0.4).
+#include "spec_main.hpp"
 
-int main(int argc, char** argv) {
-  return mcs::bench::figure_main(
-      argc, argv, "Figure 4 - varying M",
-      [](const mcs::gen::GenParams& base, double alpha) {
-        return mcs::exp::make_fig4_cores(base, alpha);
-      });
-}
+int main(int argc, char** argv) { return mcs::bench::spec_main(argc, argv, "fig4"); }

@@ -1,11 +1,5 @@
 // Reproduces paper Fig. 5: scheme performance vs the number of criticality
-// levels (K in 2..6; M=8, NSU=0.6, alpha=0.7, IFC=0.4).
-#include "figure_main.hpp"
+// levels (K in 2..6; M=8, alpha=0.7, NSU=0.6, IFC=0.4).
+#include "spec_main.hpp"
 
-int main(int argc, char** argv) {
-  return mcs::bench::figure_main(
-      argc, argv, "Figure 5 - varying K",
-      [](const mcs::gen::GenParams& base, double alpha) {
-        return mcs::exp::make_fig5_levels(base, alpha);
-      });
-}
+int main(int argc, char** argv) { return mcs::bench::spec_main(argc, argv, "fig5"); }

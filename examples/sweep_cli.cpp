@@ -1,8 +1,8 @@
-// General-purpose sweep driver: run any of the paper's five figures (or a
+// General-purpose sweep driver: run any builtin experiment spec (or a
 // single custom point) from the command line without writing code.
 //
 //   $ ./examples/sweep_cli --figure 1 --trials 1000
-//   $ ./examples/sweep_cli --figure 4 --trials 50000 --csv fig4.csv
+//   $ ./examples/sweep_cli --figure a3 --trials 50000 --csv a3.csv
 //   $ ./examples/sweep_cli --point --nsu 0.7 --cores 16 --levels 3
 #include <iostream>
 
@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   using namespace mcs;
   const util::Cli cli(
       argc, argv,
-      {{"figure", "which paper figure to regenerate (1-5)"},
+      {{"figure", "spec to run: 1-5 or a name (fig1..fig5, a1..a4)"},
        {"point", "run a single point instead of a figure sweep"},
        {"trials", "task sets per data point (default 2000; paper: 50000)"},
        {"seed", "base RNG seed (default 1)"},
@@ -63,35 +63,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto fig = cli.get_or("figure", std::uint64_t{1});
-  const gen::GenParams base = exp::default_gen_params();
-  exp::Sweep sweep;
-  switch (fig) {
-    case 1:
-      sweep = exp::make_fig1_nsu(base, alpha);
-      break;
-    case 2:
-      sweep = exp::make_fig2_ifc(base, alpha);
-      break;
-    case 3:
-      sweep = exp::make_fig3_alpha(base);
-      break;
-    case 4:
-      sweep = exp::make_fig4_cores(base, alpha);
-      break;
-    case 5:
-      sweep = exp::make_fig5_levels(base, alpha);
-      break;
-    default:
-      std::cerr << "unknown figure " << fig << " (expected 1-5)\n";
-      return 1;
+  // Accept bare figure numbers ("--figure 4") as shorthand for "fig4";
+  // everything else resolves through the spec registry.
+  std::string name = cli.get_or("figure", std::string("1"));
+  if (name.size() == 1 && name[0] >= '1' && name[0] <= '9') {
+    name = "fig" + name;
+  }
+  const exp::SweepSpec* spec = exp::find_spec(name);
+  if (spec == nullptr) {
+    std::cerr << "unknown spec '" << name << "' (expected one of "
+              << exp::spec_names() << ")\n";
+    return 1;
   }
 
+  const exp::Sweep sweep = to_sweep(*spec, alpha);
   const exp::SweepResult result =
       run_sweep(sweep, options, [](std::size_t done, std::size_t total) {
         std::cerr << "point " << done << "/" << total << " done\n";
       });
-  print_figure(std::cout, result, "Figure " + std::to_string(fig));
+  print_figure(std::cout, result, spec->title);
   if (const auto csv = cli.get("csv")) {
     write_csv(*csv, result);
     std::cout << "\nCSV written to " << *csv << '\n';

@@ -4,12 +4,25 @@
 #include <limits>
 
 #include "mcs/analysis/edfvd.hpp"
+#include "mcs/obs/metrics.hpp"
 
 namespace mcs::analysis {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+
+// Registered once; increments are no-ops while metrics are disabled.
+obs::Counter& g_probes = obs::registry().counter("placement.probes");
+obs::Counter& g_probes_infeasible =
+    obs::registry().counter("placement.probes_infeasible");
+obs::Counter& g_eq4_accepts = obs::registry().counter("placement.eq4_accepts");
+obs::Counter& g_improved_tests =
+    obs::registry().counter("placement.improved_tests");
+obs::Counter& g_commits = obs::registry().counter("placement.commits");
+obs::Counter& g_uncommits = obs::registry().counter("placement.uncommits");
+obs::Counter& g_imbalance_rescans =
+    obs::registry().counter("placement.imbalance_rescans");
+}  // namespace
 
 void PlacementEngine::reset(const TaskSet& ts, std::size_t num_cores) {
   if (partition_) {
@@ -35,39 +48,51 @@ const UtilMatrix& PlacementEngine::with_task(std::size_t task,
 ProbeResult PlacementEngine::probe(std::size_t task, std::size_t core,
                                    ProbePolicy policy) {
   ++probes_;
+  g_probes.add();
   const double new_util =
       core_utilization(with_task(task, core), test_scratch_, policy);
   ProbeResult r;
   r.feasible = new_util != kInf;
   r.new_util = new_util;
   r.increment = r.feasible ? new_util - util_[core] : kInf;
+  if (!r.feasible) g_probes_infeasible.add();
   return r;
 }
 
 bool PlacementEngine::probe_fits(std::size_t task, std::size_t core) {
   ++probes_;
+  g_probes.add();
   const UtilMatrix& hypothetical = with_task(task, core);
-  if (basic_test(hypothetical)) return true;
+  if (basic_test(hypothetical)) {
+    g_eq4_accepts.add();
+    return true;
+  }
+  g_improved_tests.add();
   improved_test(hypothetical, test_scratch_);
+  if (!test_scratch_.schedulable) g_probes_infeasible.add();
   return test_scratch_.schedulable;
 }
 
 bool PlacementEngine::probe_fits_basic(std::size_t task, std::size_t core) {
   ++probes_;
+  g_probes.add();
   return basic_test(with_task(task, core));
 }
 
 void PlacementEngine::commit(std::size_t task, std::size_t core) {
+  g_commits.add();
   partition_->assign(task, core);
 }
 
 void PlacementEngine::commit(std::size_t task, std::size_t core,
                              double new_util) {
+  g_commits.add();
   partition_->assign(task, core);
   set_util(core, new_util);
 }
 
 void PlacementEngine::uncommit(std::size_t task) {
+  g_uncommits.add();
   partition_->unassign(task);
 }
 
@@ -94,6 +119,7 @@ void PlacementEngine::set_util(std::size_t core, double value) {
 
 double PlacementEngine::imbalance() const {
   if (!minmax_valid_) {
+    g_imbalance_rescans.add();
     max_util_ = *std::max_element(util_.begin(), util_.end());
     min_util_ = *std::min_element(util_.begin(), util_.end());
     minmax_valid_ = true;

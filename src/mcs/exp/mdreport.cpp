@@ -1,0 +1,186 @@
+#include "mcs/exp/mdreport.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string_view>
+
+#include "mcs/util/table.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+constexpr std::string_view kBegin = "<!-- mcs_report:begin ";
+constexpr std::string_view kEnd = "<!-- mcs_report:end ";
+constexpr std::string_view kClose = " -->";
+
+/// Parses a marker line of the given kind; returns the block name or empty.
+std::string marker_name(std::string_view line, std::string_view kind) {
+  // Tolerate trailing spaces/CR but nothing else around the marker.
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.substr(0, kind.size()) != kind) return {};
+  if (line.size() < kind.size() + kClose.size()) return {};
+  if (line.substr(line.size() - kClose.size()) != kClose) return {};
+  return std::string(
+      line.substr(kind.size(), line.size() - kind.size() - kClose.size()));
+}
+
+/// Calls `on_line(line_without_newline, has_newline)` for every line.
+template <typename Fn>
+void for_each_line(const std::string& doc, Fn&& on_line) {
+  std::size_t begin = 0;
+  while (begin < doc.size()) {
+    const std::size_t end = doc.find('\n', begin);
+    if (end == std::string::npos) {
+      on_line(std::string_view(doc).substr(begin), false);
+      return;
+    }
+    on_line(std::string_view(doc).substr(begin, end - begin), true);
+    begin = end + 1;
+  }
+}
+
+std::string format_x(double x) {
+  if (x == std::floor(x) && std::abs(x) < 1e6) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  return util::format_double(x, 2);
+}
+
+double metric_value(const SchemeAggregate& agg, const std::string& metric) {
+  if (metric == "ratio") return agg.ratio();
+  if (metric == "u_sys") return agg.u_sys.mean();
+  if (metric == "u_avg") return agg.u_avg.mean();
+  if (metric == "imbalance") return agg.imbalance.mean();
+  throw std::runtime_error("mcs_report: unknown metric '" + metric + "'");
+}
+
+std::string provenance_line(const Artifact& artifact) {
+  std::string out = "<!-- rendered by mcs_report from ";
+  out += artifact.spec;
+  out += ".json: spec=";
+  out += artifact.spec;
+  out += " trials=" + std::to_string(artifact.trials);
+  out += " seed=" + std::to_string(artifact.seed);
+  out += " alpha=" + util::format_double(artifact.alpha, 2);
+  if (!artifact.source.empty()) out += " commit=" + artifact.source;
+  out += " fingerprint=" + artifact.fingerprint;
+  out += " -->\n";
+  return out;
+}
+
+std::string metric_table(const Artifact& artifact, const std::string& metric) {
+  if (artifact.points.empty()) return "(empty artifact)\n";
+  std::string out = "| " + artifact.x_label;
+  for (const SchemeAggregate& agg : artifact.points.front().result.schemes) {
+    out += " | " + agg.scheme;
+  }
+  out += " |\n|";
+  for (std::size_t i = 0;
+       i <= artifact.points.front().result.schemes.size(); ++i) {
+    out += "---|";
+  }
+  out += "\n";
+  for (const PointCheckpoint& point : artifact.points) {
+    out += "| " + format_x(point.result.x);
+    for (const SchemeAggregate& agg : point.result.schemes) {
+      out += " | " + util::format_double(metric_value(agg, metric), 4);
+    }
+    out += " |\n";
+  }
+  return out;
+}
+
+std::string counters_table(const Artifact& artifact) {
+  std::set<std::string> names;
+  for (const PointCheckpoint& point : artifact.points) {
+    for (const auto& [name, value] : point.counters) names.insert(name);
+  }
+  if (names.empty()) return "(no counters recorded)\n";
+  std::string out = "| counter";
+  for (const PointCheckpoint& point : artifact.points) {
+    out += " | " + artifact.x_label + "=" + format_x(point.result.x);
+  }
+  out += " |\n|";
+  for (std::size_t i = 0; i <= artifact.points.size(); ++i) out += "---|";
+  out += "\n";
+  for (const std::string& name : names) {
+    out += "| " + name;
+    for (const PointCheckpoint& point : artifact.points) {
+      const auto it = point.counters.find(name);
+      out += " | " +
+             std::to_string(it == point.counters.end() ? 0 : it->second);
+    }
+    out += " |\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> doc_block_names(const std::string& doc) {
+  std::vector<std::string> names;
+  std::string open;  // name of the currently open block, if any
+  for_each_line(doc, [&](std::string_view line, bool /*has_newline*/) {
+    if (const std::string begin = marker_name(line, kBegin); !begin.empty()) {
+      if (!open.empty()) {
+        throw std::runtime_error("mcs_report: block '" + open +
+                                 "' not closed before '" + begin + "' opens");
+      }
+      open = begin;
+      names.push_back(begin);
+    } else if (const std::string end = marker_name(line, kEnd); !end.empty()) {
+      if (end != open) {
+        throw std::runtime_error("mcs_report: end marker '" + end +
+                                 "' does not match open block '" + open + "'");
+      }
+      open.clear();
+    }
+  });
+  if (!open.empty()) {
+    throw std::runtime_error("mcs_report: block '" + open + "' never closed");
+  }
+  return names;
+}
+
+std::string replace_blocks(
+    const std::string& doc,
+    const std::function<std::string(const std::string&)>& body_for) {
+  std::string out;
+  out.reserve(doc.size());
+  std::string open;
+  for_each_line(doc, [&](std::string_view line, bool has_newline) {
+    if (const std::string begin = marker_name(line, kBegin); !begin.empty()) {
+      open = begin;
+      out += line;
+      out += '\n';
+      out += body_for(begin);
+      return;
+    }
+    if (const std::string end = marker_name(line, kEnd); !end.empty()) {
+      open.clear();
+      out += line;
+      if (has_newline) out += '\n';
+      return;
+    }
+    if (!open.empty()) return;  // old body text, superseded
+    out += line;
+    if (has_newline) out += '\n';
+  });
+  return out;
+}
+
+std::string render_block(const Artifact& artifact, const std::string& metric) {
+  std::string out = provenance_line(artifact);
+  if (metric == "counters") {
+    out += counters_table(artifact);
+  } else {
+    out += metric_table(artifact, metric);
+  }
+  return out;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,41 @@
+// Markdown rendering of experiment artifacts, and marker-block injection
+// into docs.  The docs renderer (tools/mcs_report) rewrites the region
+// between
+//
+//   <!-- mcs_report:begin <spec>[:<metric>] -->
+//   ...
+//   <!-- mcs_report:end <spec>[:<metric>] -->
+//
+// with a provenance comment plus a markdown table generated from
+// <artifacts>/<spec>.json, so every number in the rendered docs traces to a
+// committed artifact and `mcs_report --check` detects drift byte-exactly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mcs/exp/orchestrator.hpp"
+
+namespace mcs::exp {
+
+/// Block names in document order (the text between begin/end markers is the
+/// renderer's property; names may repeat).  Throws std::runtime_error on
+/// malformed marker structure (unterminated or mismatched blocks).
+[[nodiscard]] std::vector<std::string> doc_block_names(const std::string& doc);
+
+/// Returns `doc` with every marker block's body replaced by
+/// `body_for(name)` (the markers themselves are kept).  Bodies are expected
+/// to be newline-terminated.
+[[nodiscard]] std::string replace_blocks(
+    const std::string& doc,
+    const std::function<std::string(const std::string&)>& body_for);
+
+/// Renders one block body: the provenance comment plus the table for
+/// `metric` — "ratio" (default), "u_sys", "u_avg", "imbalance" (scheme
+/// columns per x row) or "counters" (observability counter deltas per x).
+/// Throws std::runtime_error on an unknown metric.
+[[nodiscard]] std::string render_block(const Artifact& artifact,
+                                       const std::string& metric);
+
+}  // namespace mcs::exp

@@ -1,0 +1,226 @@
+#include "mcs/exp/spec.hpp"
+
+#include <bit>
+#include <cctype>
+#include <initializer_list>
+#include <string_view>
+
+namespace mcs::exp {
+
+const char* axis_name(Axis axis) noexcept {
+  switch (axis) {
+    case Axis::kNsu:
+      return "nsu";
+    case Axis::kIfc:
+      return "ifc";
+    case Axis::kAlpha:
+      return "alpha";
+    case Axis::kCores:
+      return "cores";
+    case Axis::kLevels:
+      return "levels";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> to_doubles(std::initializer_list<double> values) {
+  return {values};
+}
+
+SweepSpec figure_spec(std::string name, std::string title, std::string x_label,
+                      Axis axis, std::vector<double> values) {
+  SweepSpec spec;
+  spec.name = std::move(name);
+  spec.title = std::move(title);
+  spec.x_label = std::move(x_label);
+  spec.axis = axis;
+  spec.values = std::move(values);
+  spec.base = default_gen_params();
+  return spec;
+}
+
+SweepSpec ablation_spec(std::string name, std::string title,
+                        std::vector<std::string> schemes) {
+  SweepSpec spec = figure_spec(std::move(name), std::move(title), "NSU",
+                               Axis::kNsu, {kNsuRange.begin(), kNsuRange.end()});
+  spec.schemes = std::move(schemes);
+  return spec;
+}
+
+std::vector<SweepSpec> build_specs() {
+  std::vector<SweepSpec> specs;
+
+  specs.push_back(figure_spec("fig1", "Figure 1 - varying NSU", "NSU",
+                              Axis::kNsu,
+                              {kNsuRange.begin(), kNsuRange.end()}));
+  specs.push_back(figure_spec("fig2", "Figure 2 - varying IFC", "IFC",
+                              Axis::kIfc,
+                              {kIfcRange.begin(), kIfcRange.end()}));
+  SweepSpec fig3 =
+      figure_spec("fig3", "Figure 3 - varying alpha", "alpha", Axis::kAlpha,
+                  {kAlphaRange.begin(), kAlphaRange.end()});
+  fig3.share_workloads_across_points = true;
+  specs.push_back(std::move(fig3));
+  specs.push_back(figure_spec("fig4", "Figure 4 - varying cores", "M",
+                              Axis::kCores, to_doubles({2, 4, 8, 16, 32})));
+  specs.push_back(figure_spec("fig5", "Figure 5 - varying criticality levels",
+                              "K", Axis::kLevels,
+                              to_doubles({2, 3, 4, 5, 6})));
+
+  specs.push_back(ablation_spec(
+      "a1", "Ablation A1 - imbalance control",
+      {"CA-TPA/noBal", "CA-TPA(a=0.1)", "CA-TPA(a=0.3)", "CA-TPA(a=0.5)",
+       "CA-TPA(a=0.7)", "CA-TPA(a=0.9)"}));
+  specs.push_back(ablation_spec(
+      "a2", "Ablation A2 - task ordering",
+      {"CA-TPA(contrib)", "CA-TPA(maxutil)", "FFD"}));
+  specs.push_back(ablation_spec(
+      "a3", "Ablation A3 - probe policy",
+      {"CA-TPA(min)", "CA-TPA(first)", "CA-TPA(max)"}));
+  specs.push_back(ablation_spec(
+      "a4", "Ablation A4 - test strength",
+      {"FFD/eq4", "FFD", "WFD/eq4", "WFD"}));
+
+  return specs;
+}
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<SweepSpec>& builtin_specs() {
+  static const std::vector<SweepSpec> specs = build_specs();
+  return specs;
+}
+
+const SweepSpec* find_spec(const std::string& name) {
+  const std::string key = lower(name);
+  for (const SweepSpec& spec : builtin_specs()) {
+    if (spec.name == key) return &spec;
+  }
+  return nullptr;
+}
+
+std::string spec_names() {
+  std::string out;
+  for (const SweepSpec& spec : builtin_specs()) {
+    if (!out.empty()) out += ", ";
+    out += spec.name;
+  }
+  return out;
+}
+
+Sweep to_sweep(const SweepSpec& spec, double alpha) {
+  Sweep sweep;
+  sweep.name = spec.name;
+  sweep.x_label = spec.x_label;
+  sweep.share_workloads_across_points = spec.share_workloads_across_points;
+  sweep.points.reserve(spec.values.size());
+  for (const double value : spec.values) {
+    gen::GenParams params = spec.base;
+    double point_alpha = alpha;
+    switch (spec.axis) {
+      case Axis::kNsu:
+        params.nsu = value;
+        break;
+      case Axis::kIfc:
+        params.ifc = value;
+        break;
+      case Axis::kAlpha:
+        point_alpha = value;
+        break;
+      case Axis::kCores:
+        params.num_cores = static_cast<std::size_t>(value);
+        break;
+      case Axis::kLevels:
+        params.num_levels = static_cast<Level>(value);
+        break;
+    }
+    const std::vector<std::string> schemes = spec.schemes;
+    sweep.points.push_back(SweepPoint{
+        .x = value,
+        .params = params,
+        .make_schemes = [schemes, point_alpha] {
+          return schemes.empty()
+                     ? partition::paper_schemes(point_alpha)
+                     : partition::make_scheme_list(schemes, point_alpha);
+        }});
+  }
+  return sweep;
+}
+
+namespace {
+
+class Fnv1a {
+ public:
+  void feed(std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void feed_u64(std::uint64_t v) {
+    char buf[16];
+    for (int i = 0; i < 16; ++i) {
+      buf[i] = "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
+    }
+    feed(std::string_view(buf, 16));
+    feed("|");
+  }
+  void feed_double(double v) { feed_u64(std::bit_cast<std::uint64_t>(v)); }
+  void feed_str(std::string_view s) {
+    feed(s);
+    feed("|");
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::string spec_fingerprint(const SweepSpec& spec, std::uint64_t trials,
+                             std::uint64_t seed, double alpha) {
+  Fnv1a h;
+  h.feed_str("mcs-spec-fingerprint/1");
+  h.feed_str(spec.name);
+  h.feed_str(axis_name(spec.axis));
+  h.feed_u64(spec.values.size());
+  for (const double v : spec.values) h.feed_double(v);
+  const gen::GenParams& p = spec.base;
+  h.feed_u64(p.num_cores);
+  h.feed_u64(p.num_levels);
+  h.feed_u64(p.random_levels ? 1 : 0);
+  h.feed_double(p.nsu);
+  h.feed_double(p.ifc);
+  h.feed_u64(p.num_tasks);
+  for (const auto& [lo, hi] : p.period_classes) {
+    h.feed_double(lo);
+    h.feed_double(hi);
+  }
+  h.feed_double(p.wcet_spread_lo);
+  h.feed_double(p.wcet_spread_hi);
+  h.feed_u64(spec.schemes.size());
+  for (const std::string& s : spec.schemes) h.feed_str(s);
+  h.feed_u64(spec.share_workloads_across_points ? 1 : 0);
+  h.feed_u64(trials);
+  h.feed_u64(seed);
+  h.feed_double(alpha);
+
+  std::string out(16, '0');
+  const std::uint64_t v = h.value();
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,80 @@
+#include "mcs/obs/metrics.hpp"
+
+namespace mcs::obs {
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> counter_deltas(
+    const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  std::map<std::string, std::uint64_t> deltas;
+  for (const auto& [name, value] : after.counters) {
+    std::uint64_t base = 0;
+    if (const auto it = before.counters.find(name);
+        it != before.counters.end()) {
+      base = it->second;
+    }
+    if (value > base) deltas.emplace(name, value - base);
+  }
+  return deltas;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, timer] : timers_) {
+    snap.timers.emplace(
+        name, MetricsSnapshot::TimerData{timer->count(), timer->total_ns()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(
+        name, MetricsSnapshot::HistogramData{hist->count(), hist->sum()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, timer] : timers_) timer->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace mcs::obs

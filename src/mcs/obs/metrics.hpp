@@ -1,0 +1,202 @@
+// Lightweight observability layer: a process-wide registry of named
+// counters, timers and histograms, instrumented into the hot paths
+// (PlacementEngine probes/commits, CA-TPA repair, sim-engine mode switches
+// and deadline checks) so experiment sweeps can report *why* numbers move.
+//
+// Cost model: every instrument is gated on one relaxed atomic flag that is
+// off by default, so the disabled path is a load + predictable branch and
+// recorded values stay zero.  When enabled, counters are relaxed atomic
+// increments — safe under the Monte-Carlo thread pool, and deterministic in
+// total because every increment derives from deterministic per-trial work.
+// Timers read the steady clock only while enabled; their values are
+// wall-clock and therefore *not* deterministic, which is why the experiment
+// orchestrator persists counter deltas but never timer values into
+// artifacts (checkpoint resume must be bit-identical).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mcs::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Whether instruments record anything.  Relaxed: hot paths tolerate a
+/// slightly stale view around the enable/disable edge.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_metrics_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// RAII toggle restoring the previous state (used by the orchestrator and
+/// by tests so a failure cannot leak an enabled registry).
+class MetricsEnabledGuard {
+ public:
+  explicit MetricsEnabledGuard(bool on) noexcept : previous_(metrics_enabled()) {
+    set_metrics_enabled(on);
+  }
+  ~MetricsEnabledGuard() { set_metrics_enabled(previous_); }
+  MetricsEnabledGuard(const MetricsEnabledGuard&) = delete;
+  MetricsEnabledGuard& operator=(const MetricsEnabledGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated duration + call count (nanoseconds).
+class Timer {
+ public:
+  void record(std::uint64_t ns) noexcept {
+    if (!metrics_enabled()) return;
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Scope guard recording its lifetime into a Timer.  The clock is read only
+/// while metrics are enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(timer), armed_(metrics_enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Power-of-two bucketed histogram of unsigned values: bucket b counts
+/// values with bit_width b (bucket 0 is the value 0).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    if (!metrics_enabled()) return;
+    buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct TimerData {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  struct HistogramData {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, TimerData> timers;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Counters that grew between two snapshots (nonzero deltas only; a counter
+/// registered after `before` counts from zero).
+[[nodiscard]] std::map<std::string, std::uint64_t> counter_deltas(
+    const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+/// Process-wide instrument registry.  Lookup by name registers on first
+/// use and always returns the same object, whose address is stable for the
+/// process lifetime — hot paths cache references at namespace scope.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (names stay registered).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for Registry::instance().
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace mcs::obs

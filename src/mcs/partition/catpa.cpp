@@ -1,5 +1,7 @@
 #include "mcs/partition/catpa.hpp"
 
+#include "mcs/obs/metrics.hpp"
+
 namespace mcs::partition {
 
 namespace {
@@ -7,7 +9,15 @@ namespace {
 // toward the smaller core index); without the epsilon, floating-point noise
 // of ~1e-16 from the theta/mu arithmetic would decide them arbitrarily.
 constexpr double kTieEps = 1e-12;
-}
+
+obs::Counter& g_rebalance =
+    obs::registry().counter("catpa.rebalance_placements");
+obs::Counter& g_repair_calls = obs::registry().counter("catpa.repair_calls");
+obs::Counter& g_repair_success =
+    obs::registry().counter("catpa.repair_success");
+obs::Counter& g_repair_relocations =
+    obs::registry().counter("catpa.repair_relocations");
+}  // namespace
 
 CaTpaPartitioner::CaTpaPartitioner(CaTpaOptions options)
     : options_(std::move(options)) {
@@ -40,6 +50,7 @@ bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
         const analysis::ProbeResult victim_probe =
             engine.probe(victim, refuge, policy);
         if (!victim_probe.feasible) continue;
+        g_repair_relocations.add();
         engine.relocate(victim, refuge);
         const analysis::ProbeResult task_probe =
             engine.probe(task, dest, policy);
@@ -71,6 +82,7 @@ PlacementOutcome CaTpaPartitioner::run_on(
     // balance, place the task on the least-utilized feasible core.
     const bool rebalance = options_.use_imbalance_control &&
                            engine.imbalance() >= options_.alpha;
+    if (rebalance) g_rebalance.add();
 
     const CoreChoice choice = select_core(
         num_cores, SelectionRule::kMinKey, kTieEps,
@@ -85,9 +97,12 @@ PlacementOutcome CaTpaPartitioner::run_on(
                            probe.new_util};
         });
     if (choice.core == kUnassigned) {
-      if (options_.enable_repair &&
-          try_repair(engine, t, options_.probe_policy)) {
-        continue;
+      if (options_.enable_repair) {
+        g_repair_calls.add();
+        if (try_repair(engine, t, options_.probe_policy)) {
+          g_repair_success.add();
+          continue;
+        }
       }
       outcome.failed_task = t;
       outcome.success = false;

@@ -22,4 +22,25 @@ using PartitionerList = std::vector<std::unique_ptr<Partitioner>>;
 [[nodiscard]] std::unique_ptr<Partitioner> make_scheme(const std::string& name,
                                                        double alpha = 0.7);
 
+/// Builds a scheme from a declarative spec string — the grammar the
+/// experiment registry (exp::SweepSpec) uses to describe line-ups as data.
+/// Accepts every make_scheme() name plus:
+///   * "WFD/eq4", "FFD/eq4", "BFD/eq4"   — Eq. (4)-only test strength,
+///   * "CA-TPA/noBal"                    — imbalance control disabled,
+///   * "CA-TPA(<opts>)" with comma-separated options from
+///       a=<alpha>        pinned imbalance threshold (ignores `alpha`),
+///       min|first|max    Eq. (9b) probe-policy fold,
+///       contrib|maxutil  ordering key,
+///       nobal            disable imbalance control,
+///       repair           enable single-migration repair.
+/// Parenthesized CA-TPA forms use the spec string itself as the display
+/// name, matching the ablation benches ("CA-TPA(min)", "CA-TPA(a=0.5)", …).
+/// Throws std::invalid_argument on unknown specs.
+[[nodiscard]] std::unique_ptr<Partitioner> make_scheme_spec(
+    const std::string& spec, double alpha = 0.7);
+
+/// make_scheme_spec over a list.
+[[nodiscard]] PartitionerList make_scheme_list(
+    const std::vector<std::string>& specs, double alpha = 0.7);
+
 }  // namespace mcs::partition

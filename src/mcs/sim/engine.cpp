@@ -1,6 +1,7 @@
 #include "mcs/sim/engine.hpp"
 
 #include "mcs/gen/rng.hpp"
+#include "mcs/obs/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -15,6 +16,13 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-9;
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+obs::Counter& g_mode_switches = obs::registry().counter("sim.mode_switches");
+obs::Counter& g_deadline_checks =
+    obs::registry().counter("sim.deadline_checks");
+obs::Counter& g_deadline_misses =
+    obs::registry().counter("sim.deadline_misses");
+obs::Counter& g_jobs_dropped = obs::registry().counter("sim.jobs_dropped");
 
 struct Job {
   std::size_t task = 0;       ///< index within the TaskSet
@@ -308,6 +316,7 @@ class CoreSim {
     const double response = t_ - job.release;
     tstats.sum_response += response;
     tstats.max_response = std::max(tstats.max_response, response);
+    g_deadline_checks.add();
     if (t_ > job.deadline + cfg_.miss_tolerance) {
       record_miss(job);
     }
@@ -319,6 +328,7 @@ class CoreSim {
   /// the miss tolerance window or after a non-stopping miss).  Returns true
   /// when a miss was recorded.
   bool flag_expired_deadlines() {
+    g_deadline_checks.add(ready_.size());
     for (const Job& j : ready_) {
       if (t_ > j.deadline + cfg_.miss_tolerance) {
         record_miss(j);
@@ -335,12 +345,14 @@ class CoreSim {
       const Level old_mode = mode_;
       ++mode_;
       ++stats_.mode_switches;
+      g_mode_switches.add();
       stats_.max_mode = std::max(stats_.max_mode, mode_);
       emit(EventKind::kModeSwitch, kNone, 0, 0.0);
       // Drop jobs at or below the exhausted mode.
       for (std::size_t i = ready_.size(); i-- > 0;) {
         if (ts_[ready_[i].task].level() <= old_mode) {
           ++stats_.jobs_dropped;
+          g_jobs_dropped.add();
           ++task_stats_[ready_[i].task].dropped;
           emit(EventKind::kJobDropped, ready_[i].task, ready_[i].number,
                ready_[i].deadline);
@@ -373,6 +385,7 @@ class CoreSim {
   }
 
   void record_miss(const Job& job) {
+    g_deadline_misses.add();
     ++task_stats_[job.task].missed;
     misses_.push_back(DeadlineMiss{.core = core_,
                                    .task = job.task,

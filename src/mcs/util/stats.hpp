@@ -55,6 +55,29 @@ class Welford {
     return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
   }
 
+  /// Raw sum of squared deviations (for exact serialization).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
+  /// Reconstructs an accumulator from serialized state (count, mean, m2 and
+  /// the raw min/max fields, which are +/-infinity for an empty
+  /// accumulator).  Exact inverse of reading count()/mean()/m2()/the raw
+  /// extrema, so checkpoint restore is bit-identical.
+  [[nodiscard]] static Welford restore(std::size_t n, double mean, double m2,
+                                       double min, double max) noexcept {
+    Welford w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    w.min_ = min;
+    w.max_ = max;
+    return w;
+  }
+
+  /// The raw extremum fields (infinities when empty), unlike min()/max()
+  /// which report NaN for an empty accumulator.
+  [[nodiscard]] double raw_min() const noexcept { return min_; }
+  [[nodiscard]] double raw_max() const noexcept { return max_; }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,120 @@
+#include "mcs/exp/mdreport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs::exp {
+namespace {
+
+Artifact tiny_artifact() {
+  Artifact artifact;
+  artifact.spec = "fig1";
+  artifact.title = "Figure 1 - varying NSU";
+  artifact.x_label = "NSU";
+  artifact.trials = 100;
+  artifact.seed = 1;
+  artifact.alpha = 0.7;
+  artifact.source = "abc1234";
+  artifact.fingerprint = "0123456789abcdef";
+  for (const double x : {0.4, 0.6}) {
+    PointCheckpoint point;
+    point.result.x = x;
+    SchemeAggregate wfd;
+    wfd.scheme = "WFD";
+    wfd.trials = 100;
+    wfd.schedulable = x < 0.5 ? 100 : 15;
+    point.result.schemes.push_back(wfd);
+    SchemeAggregate catpa;
+    catpa.scheme = "CA-TPA";
+    catpa.trials = 100;
+    catpa.schedulable = x < 0.5 ? 100 : 20;
+    point.result.schemes.push_back(catpa);
+    point.counters["placement.probes"] = static_cast<std::uint64_t>(x * 1000);
+    artifact.points.push_back(std::move(point));
+  }
+  return artifact;
+}
+
+TEST(MdReportTest, RenderBlockRatioTable) {
+  const std::string body = render_block(tiny_artifact(), "ratio");
+  EXPECT_NE(body.find("rendered by mcs_report from fig1.json"),
+            std::string::npos);
+  EXPECT_NE(body.find("spec=fig1 trials=100 seed=1 alpha=0.70 commit=abc1234"),
+            std::string::npos);
+  EXPECT_NE(body.find("| NSU | WFD | CA-TPA |"), std::string::npos);
+  EXPECT_NE(body.find("| 0.40 | 1.0000 | 1.0000 |"), std::string::npos);
+  EXPECT_NE(body.find("| 0.60 | 0.1500 | 0.2000 |"), std::string::npos);
+}
+
+TEST(MdReportTest, RenderBlockCountersTable) {
+  const std::string body = render_block(tiny_artifact(), "counters");
+  EXPECT_NE(body.find("| counter | NSU=0.40 | NSU=0.60 |"), std::string::npos);
+  EXPECT_NE(body.find("| placement.probes | 400 | 600 |"), std::string::npos);
+}
+
+TEST(MdReportTest, UnknownMetricThrows) {
+  EXPECT_THROW((void)render_block(tiny_artifact(), "bogus"),
+               std::runtime_error);
+}
+
+TEST(MdReportTest, DocBlockNamesInOrder) {
+  const std::string doc =
+      "intro\n"
+      "<!-- mcs_report:begin fig1 -->\n"
+      "stale\n"
+      "<!-- mcs_report:end fig1 -->\n"
+      "middle\n"
+      "<!-- mcs_report:begin fig3:counters -->\n"
+      "<!-- mcs_report:end fig3:counters -->\n";
+  const std::vector<std::string> names = doc_block_names(doc);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "fig1");
+  EXPECT_EQ(names[1], "fig3:counters");
+}
+
+TEST(MdReportTest, MalformedMarkersThrow) {
+  EXPECT_THROW((void)doc_block_names("<!-- mcs_report:begin a -->\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)doc_block_names("<!-- mcs_report:begin a -->\n"
+                            "<!-- mcs_report:end b -->\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)doc_block_names("<!-- mcs_report:begin a -->\n"
+                            "<!-- mcs_report:begin b -->\n"
+                            "<!-- mcs_report:end b -->\n"),
+      std::runtime_error);
+}
+
+TEST(MdReportTest, ReplaceBlocksRewritesOnlyBlockBodies) {
+  const std::string doc =
+      "# Title\n"
+      "prose stays\n"
+      "<!-- mcs_report:begin fig1 -->\n"
+      "old table\n"
+      "more old\n"
+      "<!-- mcs_report:end fig1 -->\n"
+      "tail stays\n";
+  const std::string out = replace_blocks(
+      doc, [](const std::string& name) { return "NEW " + name + "\n"; });
+  EXPECT_EQ(out,
+            "# Title\n"
+            "prose stays\n"
+            "<!-- mcs_report:begin fig1 -->\n"
+            "NEW fig1\n"
+            "<!-- mcs_report:end fig1 -->\n"
+            "tail stays\n");
+}
+
+TEST(MdReportTest, ReplaceBlocksIsIdempotent) {
+  const std::string doc =
+      "<!-- mcs_report:begin fig1 -->\n"
+      "<!-- mcs_report:end fig1 -->\n";
+  const auto body = [](const std::string&) { return std::string("body\n"); };
+  const std::string once = replace_blocks(doc, body);
+  EXPECT_EQ(replace_blocks(once, body), once);
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -1,0 +1,146 @@
+#include "mcs/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/exp/montecarlo.hpp"
+#include "mcs/util/thread_pool.hpp"
+
+namespace mcs::obs {
+namespace {
+
+TEST(MetricsTest, DisabledInstrumentsRecordNothing) {
+  MetricsEnabledGuard guard(false);
+  Counter counter;
+  counter.add();
+  counter.add(100);
+  EXPECT_EQ(counter.value(), 0u);
+
+  Timer timer;
+  timer.record(1234);
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(timer.total_ns(), 0u);
+
+  Histogram histogram;
+  histogram.record(42);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+}
+
+TEST(MetricsTest, EnabledCounterCounts) {
+  MetricsEnabledGuard guard(true);
+  Counter counter;
+  counter.add();
+  counter.add(9);
+  EXPECT_EQ(counter.value(), 10u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, GuardRestoresPreviousState) {
+  const bool before = metrics_enabled();
+  {
+    MetricsEnabledGuard outer(true);
+    EXPECT_TRUE(metrics_enabled());
+    {
+      MetricsEnabledGuard inner(false);
+      EXPECT_FALSE(metrics_enabled());
+    }
+    EXPECT_TRUE(metrics_enabled());
+  }
+  EXPECT_EQ(metrics_enabled(), before);
+}
+
+TEST(MetricsTest, CounterIsExactUnderThreadPool) {
+  MetricsEnabledGuard guard(true);
+  Counter counter;
+  constexpr std::size_t kIters = 10000;
+  util::parallel_for(kIters, [&](std::size_t i) { counter.add(i % 3 + 1); });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kIters; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  MetricsEnabledGuard guard(true);
+  Histogram histogram;
+  histogram.record(0);   // bucket 0
+  histogram.record(1);   // bucket 1
+  histogram.record(5);   // bit_width(5) = 3
+  histogram.record(5);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(3), 2u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 11u);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  Timer timer;
+  {
+    MetricsEnabledGuard guard(false);
+    ScopedTimer scoped(timer);
+  }
+  EXPECT_EQ(timer.count(), 0u);
+  {
+    MetricsEnabledGuard guard(true);
+    ScopedTimer scoped(timer);
+  }
+  EXPECT_EQ(timer.count(), 1u);
+}
+
+TEST(RegistryTest, LookupIsStableByName) {
+  Counter& a = registry().counter("test.registry.stable");
+  Counter& b = registry().counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  Timer& t1 = registry().timer("test.registry.timer");
+  Timer& t2 = registry().timer("test.registry.timer");
+  EXPECT_EQ(&t1, &t2);
+  Histogram& h1 = registry().histogram("test.registry.hist");
+  Histogram& h2 = registry().histogram("test.registry.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, SnapshotAndDeltas) {
+  MetricsEnabledGuard guard(true);
+  Counter& counter = registry().counter("test.registry.delta");
+  const MetricsSnapshot before = registry().snapshot();
+  counter.add(7);
+  const MetricsSnapshot after = registry().snapshot();
+
+  const auto deltas = counter_deltas(before, after);
+  ASSERT_EQ(deltas.count("test.registry.delta"), 1u);
+  EXPECT_EQ(deltas.at("test.registry.delta"), 7u);
+  // Untouched counters do not appear.
+  for (const auto& [name, delta] : deltas) EXPECT_GT(delta, 0u) << name;
+}
+
+TEST(RegistryTest, DeltaOfCounterRegisteredAfterBaseline) {
+  MetricsEnabledGuard guard(true);
+  const MetricsSnapshot before = registry().snapshot();
+  registry().counter("test.registry.late").add(3);
+  const auto deltas = counter_deltas(before, registry().snapshot());
+  ASSERT_EQ(deltas.count("test.registry.late"), 1u);
+  EXPECT_EQ(deltas.at("test.registry.late"), 3u);
+}
+
+TEST(RegistryTest, InstrumentedHotPathsPopulateKnownCounters) {
+  // Run a tiny experiment point with metrics on and check the placement
+  // instrumentation fired.
+  MetricsEnabledGuard guard(true);
+  Counter& probes = registry().counter("placement.probes");
+  const std::uint64_t before = probes.value();
+
+  mcs::gen::GenParams params = mcs::exp::default_gen_params();
+  params.num_tasks = 20;
+  const auto schemes = mcs::partition::paper_schemes(0.7);
+  const mcs::exp::RunOptions options{.trials = 4, .seed = 1, .threads = 1};
+  (void)mcs::exp::run_point(params, schemes, options, params.nsu);
+
+  EXPECT_GT(probes.value(), before);
+}
+
+}  // namespace
+}  // namespace mcs::obs

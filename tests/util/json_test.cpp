@@ -1,0 +1,102 @@
+#include "mcs/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs::util {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::number(42).dump(), "42");
+  EXPECT_EQ(Json::number_raw("0.25").dump(), "0.25");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", Json::number(1));
+  obj.set("alpha", Json::number(2));
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2}");
+  // Byte-deterministic: dumping twice yields the same bytes.
+  EXPECT_EQ(obj.dump(), obj.dump());
+}
+
+TEST(JsonTest, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\rf";
+  const Json value = Json::string(raw);
+  const Json parsed = Json::parse(value.dump());
+  EXPECT_EQ(parsed.as_string(), raw);
+}
+
+TEST(JsonTest, ControlCharactersEscapeAndParse) {
+  std::string raw = "x";
+  raw.push_back('\x01');
+  raw.push_back('\x1f');
+  const Json parsed = Json::parse(Json::string(raw).dump());
+  EXPECT_EQ(parsed.as_string(), raw);
+}
+
+TEST(JsonTest, ParseDocument) {
+  const Json doc = Json::parse(
+      R"({"name":"fig1","trials":2000,"vals":[1,2.5,-3],"ok":true,"none":null})");
+  EXPECT_EQ(doc.at("name").as_string(), "fig1");
+  EXPECT_EQ(doc.at("trials").as_u64(), 2000u);
+  ASSERT_EQ(doc.at("vals").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("vals").items()[1].as_double(), 2.5);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("none").type(), Json::Type::kNull);
+}
+
+TEST(JsonTest, ParseToleratesWhitespace) {
+  const Json doc = Json::parse(" { \"a\" : [ 1 , 2 ] } \n");
+  EXPECT_EQ(doc.at("a").items().size(), 2u);
+}
+
+TEST(JsonTest, NumbersKeepTheirLexeme) {
+  const Json doc = Json::parse("{\"x\":0.30000000000000004}");
+  EXPECT_EQ(doc.at("x").dump(), "0.30000000000000004");
+}
+
+TEST(JsonTest, FindAndAt) {
+  Json obj = Json::object();
+  obj.set("k", Json::number(1));
+  EXPECT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), std::runtime_error);
+}
+
+TEST(JsonTest, MalformedInputThrows) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const Json num = Json::number(1);
+  EXPECT_THROW((void)num.as_string(), std::runtime_error);
+  EXPECT_THROW((void)num.as_bool(), std::runtime_error);
+  EXPECT_THROW((void)Json::string("x").as_u64(), std::runtime_error);
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  Json inner = Json::object();
+  inner.set("list", Json::array());
+  Json outer = Json::object();
+  outer.set("inner", std::move(inner));
+  Json arr = Json::array();
+  arr.push(Json::number(7));
+  outer.set("arr", std::move(arr));
+  const std::string dumped = outer.dump();
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+}
+
+}  // namespace
+}  // namespace mcs::util

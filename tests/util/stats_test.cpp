@@ -79,5 +79,34 @@ TEST(WelfordTest, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95(), large.ci95());
 }
 
+TEST(WelfordTest, RestoreRoundTripsStateExactly) {
+  Welford w;
+  fill_cyclic(w, 53);
+  const Welford back =
+      Welford::restore(w.count(), w.mean(), w.m2(), w.raw_min(), w.raw_max());
+  EXPECT_EQ(back.count(), w.count());
+  EXPECT_EQ(back.mean(), w.mean());
+  EXPECT_EQ(back.m2(), w.m2());
+  EXPECT_EQ(back.raw_min(), w.raw_min());
+  EXPECT_EQ(back.raw_max(), w.raw_max());
+  // The restored accumulator keeps accumulating identically.
+  Welford original = w;
+  Welford restored = back;
+  original.add(3.25);
+  restored.add(3.25);
+  EXPECT_EQ(restored.mean(), original.mean());
+  EXPECT_EQ(restored.m2(), original.m2());
+}
+
+TEST(WelfordTest, RawExtremaOfEmptyAreInfinities) {
+  const Welford w;
+  EXPECT_TRUE(std::isinf(w.raw_min()));
+  EXPECT_GT(w.raw_min(), 0.0);
+  EXPECT_TRUE(std::isinf(w.raw_max()));
+  EXPECT_LT(w.raw_max(), 0.0);
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+}
+
 }  // namespace
 }  // namespace mcs::util

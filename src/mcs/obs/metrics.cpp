@@ -11,6 +11,7 @@ std::uint64_t Histogram::count() const noexcept {
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 std::map<std::string, std::uint64_t> counter_deltas(
@@ -64,8 +65,9 @@ MetricsSnapshot Registry::snapshot() const {
         name, MetricsSnapshot::TimerData{timer->count(), timer->total_ns()});
   }
   for (const auto& [name, hist] : histograms_) {
-    snap.histograms.emplace(
-        name, MetricsSnapshot::HistogramData{hist->count(), hist->sum()});
+    snap.histograms.emplace(name,
+                            MetricsSnapshot::HistogramData{
+                                hist->count(), hist->sum(), hist->max()});
   }
   return snap;
 }

@@ -134,6 +134,12 @@ class Histogram {
     buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
         1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // Running maximum via CAS: a failed exchange reloads `seen`, so the
+    // loop terminates as soon as another thread published a larger value.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
@@ -143,12 +149,17 @@ class Histogram {
   [[nodiscard]] std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Largest recorded value (0 when nothing was recorded).
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
 
   void reset() noexcept;
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Point-in-time copy of every registered instrument.
@@ -160,6 +171,7 @@ struct MetricsSnapshot {
   struct HistogramData {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+    std::uint64_t max = 0;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, TimerData> timers;

@@ -1,0 +1,51 @@
+#include "mcs/sim/arrival_calendar.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcs::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void ArrivalCalendar::reset(std::size_t members, double start) {
+  members_ = members;
+  if (members == 0) {
+    cap_ = 0;
+    tree_.clear();
+    return;
+  }
+  cap_ = 1;
+  while (cap_ < members) cap_ *= 2;
+  tree_.assign(2 * cap_, kInf);
+  std::fill_n(tree_.begin() + static_cast<std::ptrdiff_t>(cap_), members,
+              start);
+  for (std::size_t k = cap_; k-- > 1;) {
+    tree_[k] = std::min(tree_[2 * k], tree_[2 * k + 1]);
+  }
+}
+
+void ArrivalCalendar::collect_due(double now, double eps,
+                                  std::vector<std::size_t>& out) const {
+  out.clear();
+  if (members_ == 0 || tree_[1] > now + eps) return;
+  const double cutoff = now + eps;
+  // Pruned DFS, right child pushed first so leaves pop left to right —
+  // i.e. ascending member index.  Padding leaves are +inf, never due.
+  scan_stack_.clear();
+  scan_stack_.push_back(1);
+  while (!scan_stack_.empty()) {
+    const std::size_t k = scan_stack_.back();
+    scan_stack_.pop_back();
+    if (tree_[k] > cutoff) continue;
+    if (k >= cap_) {
+      out.push_back(k - cap_);
+      continue;
+    }
+    scan_stack_.push_back(2 * k + 1);
+    scan_stack_.push_back(2 * k);
+  }
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,70 @@
+// Implicit winner tree over per-member next-arrival times.
+//
+// The legacy engine recomputed the next release instant with an O(n) scan
+// over the core's members at every event; the calendar keeps the same
+// per-member next-arrival state in a complete binary tournament tree:
+// leaves hold the members' next-arrival times (padded to a power of two
+// with +inf), each internal node the minimum of its children.  The next
+// release is an O(1) root peek, and advancing one member's clock updates a
+// *fixed* leaf-to-root path — no heap positions to maintain, no entries to
+// move, and the whole tree for a few hundred members fits in L1.
+//
+// Arrival processing must mirror the legacy engine's member-order loop: of
+// the members due at time t, jobs are released for the *smallest member
+// index first*, not the earliest arrival.  Leaves sit in member order, so
+// the pruned left-to-right tree walk in collect_due() emits the due set
+// already sorted by member index — no sort pass.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcs::sim {
+
+class ArrivalCalendar {
+ public:
+  ArrivalCalendar() = default;
+
+  /// Resets to `members` entries, all with next arrival `start`.
+  void reset(std::size_t members, double start = 0.0);
+
+  [[nodiscard]] std::size_t members() const noexcept { return members_; }
+
+  /// Earliest next-arrival time, +inf when there are no members.  O(1).
+  [[nodiscard]] double next_time() const {
+    return members_ == 0 ? std::numeric_limits<double>::infinity() : tree_[1];
+  }
+
+  [[nodiscard]] double time_of(std::size_t member) const {
+    return tree_[cap_ + member];
+  }
+
+  /// Moves one member's next arrival and re-propagates the subtree minima
+  /// along its leaf-to-root path.  O(log n), early-exiting at the first
+  /// node whose min is unchanged (its ancestors are unchanged too).
+  void set_time(std::size_t member, double t) {
+    std::size_t k = cap_ + member;
+    tree_[k] = t;
+    for (k /= 2; k >= 1; k /= 2) {
+      const double m = std::min(tree_[2 * k], tree_[2 * k + 1]);
+      if (tree_[k] == m) break;
+      tree_[k] = m;
+    }
+  }
+
+  /// Collects every member with next arrival <= now + eps into `out`,
+  /// sorted ascending by member index.  Pruned left-to-right tree walk —
+  /// a node past the cutoff bounds its whole subtree, and left-to-right
+  /// leaf order IS member order, so the result needs no sorting.
+  void collect_due(double now, double eps, std::vector<std::size_t>& out) const;
+
+ private:
+  std::size_t members_ = 0;
+  std::size_t cap_ = 0;        ///< leaf capacity, power of two (0 when empty)
+  std::vector<double> tree_;   ///< [1, cap_) internal minima; [cap_, 2cap_) leaves
+  mutable std::vector<std::size_t> scan_stack_;  ///< collect_due scratch
+};
+
+}  // namespace mcs::sim

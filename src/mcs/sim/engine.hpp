@@ -33,6 +33,19 @@ enum class SchedulerKind {
   kFixedPriority,  ///< deadline-monotonic fixed priorities + AMC
 };
 
+/// Which simulation kernel executes the per-core event loop.  Both engines
+/// are required to produce bit-identical SimResults and trace streams for
+/// every configuration (enforced by verify::check_engine_parity and the
+/// engine-parity fuzz target).
+enum class EngineKind {
+  /// Indexed-heap kernel: O(log n) per event via sim::ReadyQueue (dispatch
+  /// + deadline heaps over a pooled job arena) and sim::ArrivalCalendar.
+  kEventCalendar,
+  /// The original O(n)-scan loop, kept as the differential-testing baseline
+  /// and performance reference.
+  kReference,
+};
+
 struct SimConfig {
   /// Simulation end time; 0 selects 20x the longest period in the set
   /// (default_horizon), or the exact hyperperiod when
@@ -48,6 +61,9 @@ struct SimConfig {
   /// Per-core scheduler.  Fixed-priority mode ignores virtual deadlines
   /// (jobs keep their real deadlines; priority = deadline-monotonic rank).
   SchedulerKind scheduler = SchedulerKind::kEdfVd;
+  /// Simulation kernel.  kEventCalendar is the production default; the
+  /// reference engine exists for differential testing and benchmarking.
+  EngineKind engine = EngineKind::kEventCalendar;
   /// Use EDF-VD virtual deadlines (false forces plain EDF).
   bool use_virtual_deadlines = true;
   /// Dual-criticality only: force this HI virtual-deadline scale factor in

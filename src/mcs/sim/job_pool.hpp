@@ -1,0 +1,122 @@
+// Pooled job arena for the simulation kernel.
+//
+// Ready jobs live in a slot vector recycled through a free list, so
+// releasing a job never shifts its neighbours (the legacy engine paid an
+// O(n) vector::erase per completion) and a job's handle stays valid for its
+// whole residency.  Each slot carries, besides the job itself:
+//
+//   * seq        -- a monotonically increasing insertion number.  The legacy
+//                   engine's ready vector preserved insertion order across
+//                   erases, and two of its tie-breaks (deadline-miss victim
+//                   selection, mode-switch drop order) depend on it, so the
+//                   fast kernel keeps the same total order explicitly;
+//   * positions  -- the slot's current index in each of ReadyQueue's two
+//                   heaps (intrusive indexed heaps: O(log n) erase/update
+//                   needs to find the heap node from the handle).
+//
+// Handles are recycled, so a stale handle can point at a *different* live
+// job; matches() disambiguates via the (task, number) pair, which is unique
+// over a whole simulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcs::sim {
+
+/// Index of a pooled job; stable while the job is ready.
+using JobHandle = std::uint32_t;
+
+inline constexpr JobHandle kNoJob = std::numeric_limits<JobHandle>::max();
+
+/// One released, not-yet-retired job.
+struct Job {
+  std::size_t task = 0;      ///< index within the TaskSet
+  std::uint64_t number = 0;  ///< 0-based job index
+  double release = 0.0;
+  double deadline = 0.0;     ///< current absolute (virtual) deadline
+  double remaining = 0.0;
+  double done = 0.0;
+};
+
+class JobPool {
+ public:
+  struct Slot {
+    Job job;
+    std::uint64_t seq = 0;
+    std::uint32_t sched_pos = 0;  ///< index in the scheduling-order heap
+    std::uint32_t dl_pos = 0;     ///< index in the (deadline, seq) heap
+    JobHandle next_free = kNoJob;
+    bool active = false;
+  };
+
+  /// Stores `job` in a recycled or fresh slot and stamps the next insertion
+  /// sequence number.  Heap positions are left for the caller to set.
+  JobHandle allocate(const Job& job) {
+    JobHandle h;
+    if (free_head_ != kNoJob) {
+      h = free_head_;
+      free_head_ = slots_[h].next_free;
+    } else {
+      h = static_cast<JobHandle>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[h];
+    slot.job = job;
+    slot.seq = next_seq_++;
+    slot.next_free = kNoJob;
+    slot.active = true;
+    ++active_;
+    return h;
+  }
+
+  void release(JobHandle h) {
+    Slot& slot = slots_[h];
+    slot.active = false;
+    slot.next_free = free_head_;
+    free_head_ = h;
+    --active_;
+  }
+
+  [[nodiscard]] Job& job(JobHandle h) { return slots_[h].job; }
+  [[nodiscard]] const Job& job(JobHandle h) const { return slots_[h].job; }
+  [[nodiscard]] Slot& slot(JobHandle h) { return slots_[h]; }
+  [[nodiscard]] const Slot& slot(JobHandle h) const { return slots_[h]; }
+  [[nodiscard]] std::uint64_t seq(JobHandle h) const { return slots_[h].seq; }
+
+  /// True when `h` currently holds exactly the job (task, number).  Safe on
+  /// stale handles (slot freed or recycled): (task, number) never repeats.
+  [[nodiscard]] bool matches(JobHandle h, std::size_t task,
+                             std::uint64_t number) const {
+    if (h >= slots_.size()) return false;
+    const Slot& slot = slots_[h];
+    return slot.active && slot.job.task == task && slot.job.number == number;
+  }
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
+
+  /// Visits every active handle in slot order (NOT insertion order; callers
+  /// that need insertion order sort by seq()).
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].active) fn(static_cast<JobHandle>(i));
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    free_head_ = kNoJob;
+    next_seq_ = 0;
+    active_ = 0;
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  JobHandle free_head_ = kNoJob;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,199 @@
+#include "mcs/sim/ready_queue.hpp"
+
+#include <algorithm>
+
+namespace mcs::sim {
+
+ReadyQueue::SchedEntry ReadyQueue::make_sched_entry(JobHandle h) const {
+  const Job& j = pool_.job(h);
+  SchedEntry e;
+  e.key = fp() ? static_cast<double>((*fp_ranks_)[j.task]) : j.deadline;
+  e.task = j.task;
+  e.number = j.number;
+  e.handle = h;
+  return e;
+}
+
+ReadyQueue::DlEntry ReadyQueue::make_dl_entry(JobHandle h) const {
+  return DlEntry{pool_.job(h).deadline, pool_.seq(h), h};
+}
+
+bool ReadyQueue::sched_less(const SchedEntry& a, const SchedEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  if (a.task != b.task) return a.task < b.task;
+  return a.number < b.number;
+}
+
+bool ReadyQueue::dl_less(const DlEntry& a, const DlEntry& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+void ReadyQueue::sched_sift_up(std::size_t i) {
+  const SchedEntry e = sched_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!sched_less(e, sched_heap_[parent])) break;
+    sched_heap_[i] = sched_heap_[parent];
+    pool_.slot(sched_heap_[i].handle).sched_pos =
+        static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  sched_heap_[i] = e;
+  pool_.slot(e.handle).sched_pos = static_cast<std::uint32_t>(i);
+}
+
+void ReadyQueue::sched_sift_down(std::size_t i) {
+  const SchedEntry e = sched_heap_[i];
+  const std::size_t n = sched_heap_.size();
+  for (;;) {
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (sched_less(sched_heap_[c], sched_heap_[best])) best = c;
+    }
+    if (!sched_less(sched_heap_[best], e)) break;
+    sched_heap_[i] = sched_heap_[best];
+    pool_.slot(sched_heap_[i].handle).sched_pos =
+        static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  sched_heap_[i] = e;
+  pool_.slot(e.handle).sched_pos = static_cast<std::uint32_t>(i);
+}
+
+void ReadyQueue::dl_sift_up(std::size_t i) {
+  const DlEntry e = dl_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!dl_less(e, dl_heap_[parent])) break;
+    dl_heap_[i] = dl_heap_[parent];
+    pool_.slot(dl_heap_[i].handle).dl_pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  dl_heap_[i] = e;
+  pool_.slot(e.handle).dl_pos = static_cast<std::uint32_t>(i);
+}
+
+void ReadyQueue::dl_sift_down(std::size_t i) {
+  const DlEntry e = dl_heap_[i];
+  const std::size_t n = dl_heap_.size();
+  for (;;) {
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (dl_less(dl_heap_[c], dl_heap_[best])) best = c;
+    }
+    if (!dl_less(dl_heap_[best], e)) break;
+    dl_heap_[i] = dl_heap_[best];
+    pool_.slot(dl_heap_[i].handle).dl_pos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  dl_heap_[i] = e;
+  pool_.slot(e.handle).dl_pos = static_cast<std::uint32_t>(i);
+}
+
+JobHandle ReadyQueue::push(const Job& job) {
+  const JobHandle h = pool_.allocate(job);
+  sched_heap_.push_back(make_sched_entry(h));
+  pool_.slot(h).sched_pos = static_cast<std::uint32_t>(sched_heap_.size() - 1);
+  sched_sift_up(sched_heap_.size() - 1);
+  if (fp()) {
+    dl_heap_.push_back(make_dl_entry(h));
+    pool_.slot(h).dl_pos = static_cast<std::uint32_t>(dl_heap_.size() - 1);
+    dl_sift_up(dl_heap_.size() - 1);
+  }
+  return h;
+}
+
+void ReadyQueue::erase(JobHandle h) {
+  {
+    const std::size_t i = pool_.slot(h).sched_pos;
+    const SchedEntry moved = sched_heap_.back();
+    sched_heap_.pop_back();
+    if (i < sched_heap_.size()) {
+      sched_heap_[i] = moved;
+      pool_.slot(moved.handle).sched_pos = static_cast<std::uint32_t>(i);
+      sched_sift_down(i);
+      // Only one direction can act; the common case is the root pop
+      // (completion of the running job), where sifting up is impossible.
+      if (pool_.slot(moved.handle).sched_pos == i) sched_sift_up(i);
+    }
+  }
+  if (fp()) {
+    const std::size_t i = pool_.slot(h).dl_pos;
+    const DlEntry moved = dl_heap_.back();
+    dl_heap_.pop_back();
+    if (i < dl_heap_.size()) {
+      dl_heap_[i] = moved;
+      pool_.slot(moved.handle).dl_pos = static_cast<std::uint32_t>(i);
+      dl_sift_down(i);
+      if (pool_.slot(moved.handle).dl_pos == i) dl_sift_up(i);
+    }
+  }
+  pool_.release(h);
+}
+
+JobHandle ReadyQueue::top_deadline() const {
+  if (sched_heap_.empty()) return kNoJob;
+  if (fp()) return dl_heap_.front().handle;
+  // EDF: exact (deadline, seq) minimum by arena scan — the miss path only.
+  JobHandle best = kNoJob;
+  pool_.for_each_active([&](JobHandle h) {
+    if (best == kNoJob) {
+      best = h;
+      return;
+    }
+    const Job& jh = pool_.job(h);
+    const Job& jb = pool_.job(best);
+    if (jh.deadline < jb.deadline ||
+        (jh.deadline == jb.deadline && pool_.seq(h) < pool_.seq(best))) {
+      best = h;
+    }
+  });
+  return best;
+}
+
+void ReadyQueue::update(JobHandle h) {
+  {
+    const std::size_t i = pool_.slot(h).sched_pos;
+    sched_heap_[i] = make_sched_entry(h);
+    sched_sift_down(i);
+    if (pool_.slot(h).sched_pos == i) sched_sift_up(i);
+  }
+  if (fp()) {
+    const std::size_t i = pool_.slot(h).dl_pos;
+    dl_heap_[i] = make_dl_entry(h);
+    dl_sift_down(i);
+    if (pool_.slot(h).dl_pos == i) dl_sift_up(i);
+  }
+}
+
+void ReadyQueue::rebuild() {
+  for (SchedEntry& e : sched_heap_) e = make_sched_entry(e.handle);
+  if (sched_heap_.size() > 1) {
+    for (std::size_t i = (sched_heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+      sched_sift_down(i);
+    }
+  }
+  if (fp()) {
+    for (DlEntry& e : dl_heap_) e = make_dl_entry(e.handle);
+    if (dl_heap_.size() > 1) {
+      for (std::size_t i = (dl_heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+        dl_sift_down(i);
+      }
+    }
+  }
+}
+
+void ReadyQueue::clear() {
+  pool_.clear();
+  sched_heap_.clear();
+  dl_heap_.clear();
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,145 @@
+// Indexed priority queue over the pooled job arena — the fast simulation
+// kernel's ready structure.
+//
+// The scheduling heap is an intrusive indexed 4-ary min-heap ordered by the
+// active scheduler's dispatch key — EDF (deadline, task, number) or
+// fixed-priority (rank, task, number); both are total orders, so dispatch
+// never depends on insertion history.  Heap entries carry their sort keys
+// *inline*: sifting compares contiguous entries instead of chasing pool
+// pointers, which is what makes the heap beat the legacy engine's linear
+// scans at realistic queue depths (the scans are contiguous and
+// prefetch-friendly; a pointer-chasing heap is not).
+//
+// Deadline-miss victim selection needs a different order: the legacy engine
+// breaks min-deadline ties by ready-vector position, i.e. insertion order,
+// so the victim is the minimal (deadline, seq) job.
+//
+//   * Under EDF the dispatch key's primary component IS the deadline, so
+//     the scheduling heap's top already answers the O(1) "earliest
+//     deadline" peek; the exact (deadline, seq) victim is resolved by an
+//     O(n) arena scan only when a miss actually fires (misses are rare and
+//     the reference engine pays a scan there anyway).
+//   * Under fixed priority the dispatch key says nothing about deadlines,
+//     so a second indexed heap ordered by (deadline, seq) is maintained.
+//
+// Every structural operation is O(log n) (erase/update via the position
+// indices stored in the pool slots); top peeks are O(1); rebuild()
+// refreshes the inline keys and re-heapifies in O(n) after a bulk deadline
+// change (the mode-switch re-derivation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mcs/sim/job_pool.hpp"
+
+namespace mcs::sim {
+
+class ReadyQueue {
+ public:
+  /// `fp_ranks` selects the dispatch order: nullptr keys the scheduling
+  /// heap by EDF (deadline, task, number); otherwise by fixed-priority
+  /// ((*fp_ranks)[task], task, number) and additionally maintains the
+  /// (deadline, seq) heap.  The vector must outlive the queue and cover
+  /// every task index pushed.
+  explicit ReadyQueue(const std::vector<std::size_t>* fp_ranks = nullptr)
+      : fp_ranks_(fp_ranks) {}
+
+  /// Inserts a job; assigns the next insertion sequence number.
+  JobHandle push(const Job& job);
+
+  /// Removes a job by handle.
+  void erase(JobHandle h);
+
+  /// The dispatch-order minimum, or kNoJob when empty.  O(1).
+  [[nodiscard]] JobHandle top_sched() const {
+    return sched_heap_.empty() ? kNoJob : sched_heap_.front().handle;
+  }
+
+  /// The (deadline, seq) minimum — the deadline-miss victim — or kNoJob
+  /// when empty.  O(1) under fixed priority, O(n) arena scan under EDF
+  /// (only called on the miss path; see header comment).
+  [[nodiscard]] JobHandle top_deadline() const;
+
+  /// Smallest absolute deadline over ready jobs, +inf when empty.  O(1):
+  /// under EDF the dispatch key's primary component is the deadline, so
+  /// the scheduling top is also the deadline minimum; under fixed priority
+  /// the (deadline, seq) heap answers.
+  [[nodiscard]] double earliest_deadline() const {
+    if (sched_heap_.empty()) return std::numeric_limits<double>::infinity();
+    return fp() ? dl_heap_.front().deadline : sched_heap_.front().key;
+  }
+
+  [[nodiscard]] Job& job(JobHandle h) { return pool_.job(h); }
+  [[nodiscard]] const Job& job(JobHandle h) const { return pool_.job(h); }
+  [[nodiscard]] std::uint64_t seq(JobHandle h) const { return pool_.seq(h); }
+
+  /// True when `h` still holds exactly the job (task, number).
+  [[nodiscard]] bool contains(JobHandle h, std::size_t task,
+                              std::uint64_t number) const {
+    return pool_.matches(h, task, number);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return sched_heap_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return sched_heap_.empty(); }
+
+  /// Refreshes `h`'s inline keys and restores heap order after its
+  /// deadline changed.  O(log n).
+  void update(JobHandle h);
+
+  /// Refreshes every inline key and re-heapifies after a bulk deadline
+  /// change.  O(n).
+  void rebuild();
+
+  /// Visits every ready handle in arbitrary (slot) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    pool_.for_each_active(fn);
+  }
+
+  void clear();
+
+ private:
+  /// Scheduling-heap entry with the full dispatch key inline.  `key` is
+  /// the scheduler's primary component — the absolute deadline under EDF,
+  /// the fixed-priority rank (exact as a double: ranks are task indices)
+  /// under FP — so one branch-free comparator serves both schedulers.
+  struct SchedEntry {
+    double key = 0.0;
+    std::uint64_t task = 0;
+    std::uint64_t number = 0;
+    JobHandle handle = kNoJob;
+  };
+  /// (deadline, seq) heap entry (fixed-priority mode only).
+  struct DlEntry {
+    double deadline = 0.0;
+    std::uint64_t seq = 0;
+    JobHandle handle = kNoJob;
+  };
+
+  [[nodiscard]] bool fp() const noexcept { return fp_ranks_ != nullptr; }
+  [[nodiscard]] SchedEntry make_sched_entry(JobHandle h) const;
+  [[nodiscard]] DlEntry make_dl_entry(JobHandle h) const;
+  [[nodiscard]] static bool sched_less(const SchedEntry& a,
+                                       const SchedEntry& b);
+  [[nodiscard]] static bool dl_less(const DlEntry& a, const DlEntry& b);
+
+  // One set of d-ary sift primitives per heap; kHeapArity-way layout keeps
+  // the tree shallow and the hot sift-down loop cache friendly.
+  void sched_sift_up(std::size_t i);
+  void sched_sift_down(std::size_t i);
+  void dl_sift_up(std::size_t i);
+  void dl_sift_down(std::size_t i);
+
+  static constexpr std::size_t kHeapArity = 4;
+
+  JobPool pool_;
+  std::vector<SchedEntry> sched_heap_;
+  std::vector<DlEntry> dl_heap_;  ///< empty unless fixed-priority
+  const std::vector<std::size_t>* fp_ranks_;
+};
+
+}  // namespace mcs::sim

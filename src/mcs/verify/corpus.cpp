@@ -28,7 +28,8 @@ void parse_meta_line(const std::string& line, CorpusMeta& meta,
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
     if (key == "target") {
-      if (value != "soundness" && value != "differential" && value != "io") {
+      if (value != "soundness" && value != "differential" && value != "io" &&
+          value != "engine-parity") {
         throw std::runtime_error("corpus: " + path + ": unknown target '" +
                                  value + "'");
       }
@@ -94,6 +95,9 @@ CheckResult replay(const CorpusCase& c) {
       return r;
     }
     return check_io_roundtrip(c.ts, c.meta.num_cores, c.meta.seed);
+  }
+  if (c.meta.target == "engine-parity") {
+    return check_engine_parity(c.ts, c.meta.num_cores, c.meta.seed);
   }
   // Soundness: re-partition with the accepting scheme and re-run the oracle.
   const auto scheme = partition::make_scheme(c.meta.scheme);

@@ -9,7 +9,8 @@
 //   task 0 20 4 9
 //   ...
 //
-// Recognized keys: target (soundness|differential|io), cores, seed, scheme
+// Recognized keys: target (soundness|differential|io|engine-parity), cores,
+// seed, scheme
 // (soundness only; any name partition::make_scheme accepts).  Because the
 // metadata lives in comments, every corpus file is also a plain task-set
 // file any other tool can load.
@@ -28,7 +29,7 @@
 namespace mcs::verify {
 
 struct CorpusMeta {
-  std::string target = "soundness";  ///< soundness | differential | io
+  std::string target = "soundness";  ///< soundness|differential|io|engine-parity
   std::string scheme = "CA-TPA";     ///< accepting scheme (soundness only)
   std::size_t num_cores = 2;
   std::uint64_t seed = 1;
@@ -52,7 +53,8 @@ void save_corpus_case(const std::string& path, const CorpusCase& c);
 ///   * soundness    -- the named scheme either rejects the set or the
 ///                     accepted partition survives the SoundnessOracle;
 ///   * differential -- run_differential + the io round-trip pass;
-///   * io           -- the io round-trip passes.
+///   * io            -- the io round-trip passes;
+///   * engine-parity -- check_engine_parity passes (fast kernel == reference).
 [[nodiscard]] CheckResult replay(const CorpusCase& c);
 
 }  // namespace mcs::verify

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "mcs/partition/dbf_ffd.hpp"
 #include "mcs/partition/fp_amc.hpp"
 #include "mcs/partition/registry.hpp"
+#include "mcs/sim/scenario.hpp"
 
 namespace mcs::verify {
 
@@ -344,6 +346,223 @@ CheckResult run_differential(const TaskSet& ts, std::size_t num_cores,
   }
   if (CheckResult r = check_test_dominance(ts, seed); !r.ok) return r;
   return check_scheme_claims(ts, num_cores);
+}
+
+namespace {
+
+const char* kind_name(sim::EventKind kind) {
+  switch (kind) {
+    case sim::EventKind::kRelease: return "Release";
+    case sim::EventKind::kReleaseSuppressed: return "ReleaseSuppressed";
+    case sim::EventKind::kComplete: return "Complete";
+    case sim::EventKind::kModeSwitch: return "ModeSwitch";
+    case sim::EventKind::kJobDropped: return "JobDropped";
+    case sim::EventKind::kDeadlineMiss: return "DeadlineMiss";
+    case sim::EventKind::kIdleReset: return "IdleReset";
+    case sim::EventKind::kExecute: return "Execute";
+  }
+  return "?";
+}
+
+std::string event_str(const sim::TraceEvent& e) {
+  std::ostringstream os;
+  os << std::setprecision(17) << kind_name(e.kind) << "{t=" << e.time
+     << " core=" << e.core << " task=" << e.task << " job=" << e.job
+     << " mode=" << e.mode << " dl=" << e.deadline << " until=" << e.until
+     << "}";
+  return os.str();
+}
+
+bool events_equal(const sim::TraceEvent& a, const sim::TraceEvent& b) {
+  return a.time == b.time && a.core == b.core && a.kind == b.kind &&
+         a.task == b.task && a.job == b.job && a.mode == b.mode &&
+         a.deadline == b.deadline && a.until == b.until;
+}
+
+/// Compares one uint64 CoreStats/TaskSimStats field, naming it on mismatch.
+template <typename T>
+bool field_diff(std::ostringstream& os, const char* name, const T& fast,
+                const T& ref) {
+  if (fast == ref) return false;
+  os << name << " " << std::setprecision(17) << fast << " vs " << ref;
+  return true;
+}
+
+}  // namespace
+
+CheckResult compare_sim_runs(const sim::SimResult& fast,
+                             const sim::SimResult& ref,
+                             const std::vector<sim::TraceEvent>& fast_trace,
+                             const std::vector<sim::TraceEvent>& ref_trace) {
+  // Traces first: a stats divergence almost always shows up earlier and
+  // more precisely as the first differing event.
+  const std::size_t n = std::min(fast_trace.size(), ref_trace.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!events_equal(fast_trace[i], ref_trace[i])) {
+      std::ostringstream os;
+      os << "parity: trace event " << i << " differs: fast "
+         << event_str(fast_trace[i]) << " vs ref " << event_str(ref_trace[i]);
+      return fail(os.str());
+    }
+  }
+  if (fast_trace.size() != ref_trace.size()) {
+    std::ostringstream os;
+    os << "parity: trace length " << fast_trace.size() << " vs "
+       << ref_trace.size() << "; first extra event "
+       << event_str(fast_trace.size() > ref_trace.size() ? fast_trace[n]
+                                                         : ref_trace[n]);
+    return fail(os.str());
+  }
+
+  if (fast.horizon != ref.horizon) {
+    std::ostringstream os;
+    os << "parity: horizon " << std::setprecision(17) << fast.horizon
+       << " vs " << ref.horizon;
+    return fail(os.str());
+  }
+
+  if (fast.misses.size() != ref.misses.size()) {
+    std::ostringstream os;
+    os << "parity: miss count " << fast.misses.size() << " vs "
+       << ref.misses.size();
+    return fail(os.str());
+  }
+  for (std::size_t i = 0; i < fast.misses.size(); ++i) {
+    const sim::DeadlineMiss& a = fast.misses[i];
+    const sim::DeadlineMiss& b = ref.misses[i];
+    std::ostringstream os;
+    if (field_diff(os, "core", a.core, b.core) ||
+        field_diff(os, "task", a.task, b.task) ||
+        field_diff(os, "job", a.job, b.job) ||
+        field_diff(os, "deadline", a.deadline, b.deadline) ||
+        field_diff(os, "detected_at", a.detected_at, b.detected_at) ||
+        field_diff(os, "mode", a.mode, b.mode)) {
+      return fail("parity: miss " + std::to_string(i) + ": " + os.str());
+    }
+  }
+
+  if (fast.cores.size() != ref.cores.size()) {
+    std::ostringstream os;
+    os << "parity: core count " << fast.cores.size() << " vs "
+       << ref.cores.size();
+    return fail(os.str());
+  }
+  for (std::size_t m = 0; m < fast.cores.size(); ++m) {
+    const sim::CoreStats& a = fast.cores[m];
+    const sim::CoreStats& b = ref.cores[m];
+    std::ostringstream os;
+    if (field_diff(os, "max_mode", a.max_mode, b.max_mode) ||
+        field_diff(os, "mode_switches", a.mode_switches, b.mode_switches) ||
+        field_diff(os, "jobs_released", a.jobs_released, b.jobs_released) ||
+        field_diff(os, "jobs_degraded", a.jobs_degraded, b.jobs_degraded) ||
+        field_diff(os, "jobs_completed", a.jobs_completed,
+                   b.jobs_completed) ||
+        field_diff(os, "jobs_dropped", a.jobs_dropped, b.jobs_dropped) ||
+        field_diff(os, "releases_suppressed", a.releases_suppressed,
+                   b.releases_suppressed) ||
+        field_diff(os, "idle_resets", a.idle_resets, b.idle_resets) ||
+        field_diff(os, "preemptions", a.preemptions, b.preemptions)) {
+      return fail("parity: core " + std::to_string(m) + ": " + os.str());
+    }
+    if (a.mode_residency != b.mode_residency) {
+      return fail("parity: core " + std::to_string(m) +
+                  ": mode_residency differs");
+    }
+  }
+
+  if (fast.tasks.size() != ref.tasks.size()) {
+    std::ostringstream os;
+    os << "parity: task stats count " << fast.tasks.size() << " vs "
+       << ref.tasks.size();
+    return fail(os.str());
+  }
+  for (std::size_t t = 0; t < fast.tasks.size(); ++t) {
+    const sim::TaskSimStats& a = fast.tasks[t];
+    const sim::TaskSimStats& b = ref.tasks[t];
+    std::ostringstream os;
+    if (field_diff(os, "released", a.released, b.released) ||
+        field_diff(os, "degraded", a.degraded, b.degraded) ||
+        field_diff(os, "completed", a.completed, b.completed) ||
+        field_diff(os, "dropped", a.dropped, b.dropped) ||
+        field_diff(os, "suppressed", a.suppressed, b.suppressed) ||
+        field_diff(os, "missed", a.missed, b.missed) ||
+        field_diff(os, "max_response", a.max_response, b.max_response) ||
+        field_diff(os, "sum_response", a.sum_response, b.sum_response)) {
+      return fail("parity: task " + std::to_string(t) + ": " + os.str());
+    }
+  }
+  return {};
+}
+
+CheckResult check_engine_parity(const TaskSet& ts, std::size_t num_cores,
+                                std::uint64_t seed) {
+  gen::Rng rng(gen::derive_seed(seed, 0xEA127));
+  constexpr std::size_t kRounds = 6;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // A random partial partition — parity must hold on incomplete and
+    // overloaded placements too, not just feasible ones.
+    Partition partition(ts, num_cores);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (rng.bernoulli(0.85)) {
+        partition.assign(i, rng.uniform_int(0, num_cores - 1));
+      }
+    }
+
+    sim::SimConfig cfg;
+    if (rng.bernoulli(0.3)) {
+      cfg.scheduler = sim::SchedulerKind::kFixedPriority;
+      if (rng.bernoulli(0.5)) {
+        // Explicit ranks drawn from a small pool so duplicates are common:
+        // the FP tie-break (rank, task, number) must be engine-independent.
+        cfg.fp_priorities.resize(ts.size());
+        const std::size_t pool = 1 + ts.size() / 2;
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          cfg.fp_priorities[i] = rng.uniform_int(0, pool - 1);
+        }
+      }
+    }
+    cfg.use_virtual_deadlines = !rng.bernoulli(0.25);
+    if (rng.bernoulli(0.3)) cfg.dual_scale_override = rng.uniform(0.5, 1.0);
+    if (rng.bernoulli(0.4)) {
+      cfg.sporadic_jitter = rng.uniform(0.05, 0.5);
+      cfg.arrival_seed = gen::derive_seed(seed, round * 0x9E37ULL + 1);
+    }
+    if (rng.bernoulli(0.3)) {
+      cfg.degraded_period_stretch = rng.uniform(1.2, 2.5);
+    }
+    cfg.idle_reset = !rng.bernoulli(0.3);
+    cfg.stop_core_on_miss = rng.bernoulli(0.5);
+    // Keep fuzz rounds bounded: the exact hyperperiod only when it is
+    // small, else an explicit modest horizon.
+    const std::optional<double> hp = sim::integral_hyperperiod(ts);
+    if (hp.has_value() && *hp <= 5000.0 && rng.bernoulli(0.5)) {
+      cfg.use_hyperperiod_horizon = true;
+    } else {
+      cfg.horizon = rng.uniform(50.0, 400.0);
+    }
+
+    const sim::RandomScenario scenario(
+        gen::derive_seed(seed, round ^ 0x5CE7A12ULL), rng.uniform(0.0, 0.35));
+
+    sim::SimConfig cfg_fast = cfg;
+    cfg_fast.engine = sim::EngineKind::kEventCalendar;
+    sim::SimConfig cfg_ref = cfg;
+    cfg_ref.engine = sim::EngineKind::kReference;
+
+    sim::RecordingTraceSink fast_sink;
+    sim::RecordingTraceSink ref_sink;
+    const sim::SimResult fast =
+        sim::simulate(partition, scenario, cfg_fast, &fast_sink);
+    const sim::SimResult ref =
+        sim::simulate(partition, scenario, cfg_ref, &ref_sink);
+    if (CheckResult r = compare_sim_runs(fast, ref, fast_sink.events(),
+                                         ref_sink.events());
+        !r.ok) {
+      r.detail += " (round " + std::to_string(round) + ")";
+      return r;
+    }
+  }
+  return {};
 }
 
 }  // namespace mcs::verify

@@ -17,7 +17,12 @@
 //     test for DBF-FFD), plus structural partition invariants;
 //   * io round-trip      -- write_taskset/read_taskset and
 //     write_partition/read_partition must be lossless (including unassigned
-//     tasks).
+//     tasks);
+//   * engine parity      -- the fast event-calendar simulation kernel and
+//     the reference O(n)-scan loop must produce bit-identical SimResults
+//     and trace streams on randomized partitions, schedulers (including
+//     explicit fixed priorities with duplicate ranks), sporadic jitter,
+//     degraded service and mode-reset configurations.
 //
 // Checkers return ok/detail rather than asserting so the fuzz driver can
 // shrink a failing input and the corpus replayer can report it.
@@ -25,8 +30,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mcs/core/taskset.hpp"
+#include "mcs/sim/engine.hpp"
+#include "mcs/sim/trace.hpp"
 
 namespace mcs::verify {
 
@@ -59,5 +67,21 @@ struct CheckResult {
 [[nodiscard]] CheckResult run_differential(const TaskSet& ts,
                                            std::size_t num_cores,
                                            std::uint64_t seed);
+
+/// Field-exact (bitwise, no tolerances) comparison of two engines' outputs
+/// on the same run: every DeadlineMiss, CoreStats and TaskSimStats field
+/// and every TraceEvent must agree.  `fast`/`ref` name the sides in the
+/// failure detail.
+[[nodiscard]] CheckResult compare_sim_runs(
+    const sim::SimResult& fast, const sim::SimResult& ref,
+    const std::vector<sim::TraceEvent>& fast_trace,
+    const std::vector<sim::TraceEvent>& ref_trace);
+
+/// Runs both simulation kernels over several randomized partition/config
+/// rounds on (ts, num_cores) and requires bit-identical results, traces
+/// included (the "engine-parity" fuzz target).
+[[nodiscard]] CheckResult check_engine_parity(const TaskSet& ts,
+                                              std::size_t num_cores,
+                                              std::uint64_t seed);
 
 }  // namespace mcs::verify

@@ -83,6 +83,10 @@ std::string check_case(FuzzTarget target, const FuzzCase& c,
       const CheckResult r = run_differential(c.ts, c.num_cores, case_seed);
       return r.ok ? std::string() : r.detail;
     }
+    case FuzzTarget::kEngineParity: {
+      const CheckResult r = check_engine_parity(c.ts, c.num_cores, case_seed);
+      return r.ok ? std::string() : r.detail;
+    }
     case FuzzTarget::kSoundness: {
       const auto partitioner = partition::make_scheme(scheme);
       const partition::PartitionResult result =
@@ -142,8 +146,9 @@ FuzzTarget parse_target(const std::string& name) {
   if (name == "soundness") return FuzzTarget::kSoundness;
   if (name == "differential") return FuzzTarget::kDifferential;
   if (name == "io") return FuzzTarget::kIo;
+  if (name == "engine-parity") return FuzzTarget::kEngineParity;
   throw std::invalid_argument("parse_target: unknown target '" + name +
-                              "' (soundness|differential|io)");
+                              "' (soundness|differential|io|engine-parity)");
 }
 
 std::string target_name(FuzzTarget target) {
@@ -154,6 +159,8 @@ std::string target_name(FuzzTarget target) {
       return "differential";
     case FuzzTarget::kIo:
       return "io";
+    case FuzzTarget::kEngineParity:
+      return "engine-parity";
   }
   return "?";
 }

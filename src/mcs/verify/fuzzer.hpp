@@ -10,10 +10,12 @@
 // replayable corpus files.
 //
 // Targets:
-//   * soundness    -- partition with a randomly drawn scheme; accepted
-//                     partitions must survive the SoundnessOracle;
-//   * differential -- the incremental-vs-scratch checkers (differential.hpp);
-//   * io           -- serialization round-trips.
+//   * soundness     -- partition with a randomly drawn scheme; accepted
+//                      partitions must survive the SoundnessOracle;
+//   * differential  -- the incremental-vs-scratch checkers (differential.hpp);
+//   * io            -- serialization round-trips;
+//   * engine-parity -- the fast and reference simulation kernels must be
+//                      bit-identical (check_engine_parity).
 #pragma once
 
 #include <cstdint>
@@ -24,10 +26,10 @@
 
 namespace mcs::verify {
 
-enum class FuzzTarget { kSoundness, kDifferential, kIo };
+enum class FuzzTarget { kSoundness, kDifferential, kIo, kEngineParity };
 
-/// Parses "soundness" | "differential" | "io"; throws std::invalid_argument
-/// otherwise.
+/// Parses "soundness" | "differential" | "io" | "engine-parity"; throws
+/// std::invalid_argument otherwise.
 [[nodiscard]] FuzzTarget parse_target(const std::string& name);
 [[nodiscard]] std::string target_name(FuzzTarget target);
 

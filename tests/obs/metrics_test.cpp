@@ -77,6 +77,29 @@ TEST(MetricsTest, HistogramBucketsByBitWidth) {
   EXPECT_EQ(histogram.sum(), 0u);
 }
 
+TEST(MetricsTest, HistogramTracksRunningMax) {
+  MetricsEnabledGuard guard(true);
+  Histogram histogram;
+  EXPECT_EQ(histogram.max(), 0u);
+  histogram.record(7);
+  histogram.record(3);
+  EXPECT_EQ(histogram.max(), 7u);
+  histogram.record(100);
+  histogram.record(99);
+  EXPECT_EQ(histogram.max(), 100u);
+  histogram.reset();
+  EXPECT_EQ(histogram.max(), 0u);
+}
+
+TEST(MetricsTest, HistogramMaxIsExactUnderThreadPool) {
+  MetricsEnabledGuard guard(true);
+  Histogram histogram;
+  constexpr std::size_t kIters = 10000;
+  util::parallel_for(kIters, [&](std::size_t i) { histogram.record(i); });
+  EXPECT_EQ(histogram.max(), kIters - 1);
+  EXPECT_EQ(histogram.count(), kIters);
+}
+
 TEST(MetricsTest, ScopedTimerRecordsOnlyWhenEnabled) {
   Timer timer;
   {

@@ -1,0 +1,196 @@
+// Differential tests pinning the fast event-calendar kernel to the
+// reference engine: bit-identical traces and stats on targeted scenarios
+// (sporadic arrivals, degraded mode, idle reset, duplicate fixed-priority
+// ranks, deep mode-switch cascades) plus the randomized
+// check_engine_parity rounds the fuzzer drives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mcs/core/partition.hpp"
+#include "mcs/core/taskset.hpp"
+#include "mcs/sim/engine.hpp"
+#include "mcs/sim/scenario.hpp"
+#include "mcs/sim/trace.hpp"
+#include "mcs/verify/differential.hpp"
+
+namespace mcs::sim {
+namespace {
+
+struct Rig {
+  Rig(std::vector<McTask> tasks, Level levels, std::size_t cores = 1)
+      : ts(std::move(tasks), levels), partition(ts, cores) {}
+
+  void assign_all_to(std::size_t core) {
+    for (std::size_t i = 0; i < ts.size(); ++i) partition.assign(i, core);
+  }
+
+  TaskSet ts;
+  Partition partition;
+};
+
+/// Runs both engines on the same configuration and asserts bit-identical
+/// traces and results; returns the fast result for further assertions.
+SimResult assert_engines_identical(const Partition& partition,
+                                   const ExecutionScenario& scenario,
+                                   SimConfig cfg) {
+  cfg.engine = EngineKind::kEventCalendar;
+  RecordingTraceSink fast_sink;
+  const SimResult fast = simulate(partition, scenario, cfg, &fast_sink);
+  cfg.engine = EngineKind::kReference;
+  RecordingTraceSink ref_sink;
+  const SimResult ref = simulate(partition, scenario, cfg, &ref_sink);
+  const verify::CheckResult parity = verify::compare_sim_runs(
+      fast, ref, fast_sink.events(), ref_sink.events());
+  EXPECT_TRUE(parity.ok) << parity.detail;
+  return fast;
+}
+
+TEST(EngineParityTest, FastEngineIsTheDefault) {
+  EXPECT_EQ(SimConfig{}.engine, EngineKind::kEventCalendar);
+}
+
+TEST(EngineParityTest, RandomizedRoundsMatchOnBothEngines) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rig rig({McTask(0, {2.0, 4.0}, 10.0), McTask(1, {1.0}, 5.0),
+             McTask(2, {3.0, 6.0}, 20.0), McTask(3, {2.0}, 8.0)},
+            2, 2);
+    const verify::CheckResult r =
+        verify::check_engine_parity(rig.ts, 2, seed);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(EngineParityTest, DuplicateFixedPriorityRanksDispatchByTaskIndex) {
+  // Regression for the legacy fixed-priority tie-break: tasks 0 and 1
+  // share rank 0, so the (rank, task, number) total order must run task 0
+  // first — on both engines, regardless of ready-vector layout.
+  Rig rig({McTask(0, {3.0}, 10.0), McTask(1, {3.0}, 10.0)}, 1);
+  rig.assign_all_to(0);
+  SimConfig cfg;
+  cfg.horizon = 10.0;
+  cfg.scheduler = SchedulerKind::kFixedPriority;
+  cfg.fp_priorities = {0, 0};
+  const FixedLevelScenario nominal(1);
+  const SimResult r =
+      assert_engines_identical(rig.partition, nominal, cfg);
+  EXPECT_DOUBLE_EQ(r.tasks[0].max_response, 3.0);
+  EXPECT_DOUBLE_EQ(r.tasks[1].max_response, 6.0);
+}
+
+TEST(EngineParityTest, SporadicArrivalsAreDeterministicAcrossEnginesAndRuns) {
+  Rig rig({McTask(0, {2.0, 4.0}, 10.0), McTask(1, {1.5}, 7.0),
+           McTask(2, {2.5, 5.0}, 13.0)},
+          2);
+  rig.assign_all_to(0);
+  SimConfig cfg;
+  cfg.horizon = 400.0;
+  cfg.sporadic_jitter = 0.4;
+  cfg.arrival_seed = 0xA11CE;
+  const RandomScenario scenario(0xD06, 0.2);
+  const SimResult first =
+      assert_engines_identical(rig.partition, scenario, cfg);
+  // A second fast run with the same seeds reproduces the first exactly.
+  cfg.engine = EngineKind::kEventCalendar;
+  RecordingTraceSink again_sink;
+  const SimResult again =
+      simulate(rig.partition, scenario, cfg, &again_sink);
+  cfg.engine = EngineKind::kEventCalendar;
+  RecordingTraceSink first_sink;
+  const SimResult repeat =
+      simulate(rig.partition, scenario, cfg, &first_sink);
+  const verify::CheckResult rerun = verify::compare_sim_runs(
+      again, repeat, again_sink.events(), first_sink.events());
+  EXPECT_TRUE(rerun.ok) << rerun.detail;
+  EXPECT_GT(first.total(&CoreStats::jobs_released), 0u);
+}
+
+TEST(EngineParityTest, SimulateCoreMatchesFullRunPerCore) {
+  Rig rig({McTask(0, {2.0, 4.0}, 10.0), McTask(1, {1.0}, 5.0),
+           McTask(2, {3.0, 6.0}, 15.0), McTask(3, {2.0}, 6.0)},
+          2, 2);
+  rig.partition.assign(0, 0);
+  rig.partition.assign(1, 0);
+  rig.partition.assign(2, 1);
+  rig.partition.assign(3, 1);
+  SimConfig cfg;
+  cfg.horizon = 300.0;
+  cfg.sporadic_jitter = 0.25;
+  const RandomScenario scenario(0xFADE, 0.3);
+  for (const EngineKind engine :
+       {EngineKind::kEventCalendar, EngineKind::kReference}) {
+    cfg.engine = engine;
+    const SimResult full = simulate(rig.partition, scenario, cfg);
+    for (std::size_t core = 0; core < 2; ++core) {
+      const SimResult solo =
+          simulate_core(rig.partition, core, scenario, cfg);
+      ASSERT_EQ(solo.cores.size(), 1u);
+      const CoreStats& a = full.cores[core];
+      const CoreStats& b = solo.cores[0];
+      EXPECT_EQ(a.mode_switches, b.mode_switches);
+      EXPECT_EQ(a.jobs_released, b.jobs_released);
+      EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+      EXPECT_EQ(a.jobs_dropped, b.jobs_dropped);
+      EXPECT_EQ(a.releases_suppressed, b.releases_suppressed);
+      EXPECT_EQ(a.idle_resets, b.idle_resets);
+      EXPECT_EQ(a.preemptions, b.preemptions);
+      EXPECT_EQ(a.mode_residency, b.mode_residency);
+    }
+  }
+}
+
+TEST(EngineParityTest, IdleResetDisabledMatchesOnBothEngines) {
+  Rig rig({McTask(0, {1.0, 3.0}, 10.0), McTask(1, {1.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  SimConfig cfg;
+  cfg.horizon = 200.0;
+  cfg.idle_reset = false;
+  const RandomScenario scenario(0x1D1E, 0.5);
+  const SimResult r =
+      assert_engines_identical(rig.partition, scenario, cfg);
+  // Escalations happen but without idle reset the core stays in HI mode.
+  EXPECT_GT(r.cores[0].mode_switches, 0u);
+  EXPECT_EQ(r.cores[0].idle_resets, 0u);
+}
+
+TEST(EngineParityTest, DegradedPeriodStretchMatchesOnBothEngines) {
+  Rig rig({McTask(0, {1.0, 3.0}, 8.0), McTask(1, {2.0}, 10.0)}, 2);
+  rig.assign_all_to(0);
+  SimConfig cfg;
+  cfg.horizon = 300.0;
+  cfg.degraded_period_stretch = 2.0;
+  const RandomScenario scenario(0xDE6A, 0.5);
+  const SimResult r =
+      assert_engines_identical(rig.partition, scenario, cfg);
+  // Degraded releases are admitted (not suppressed) at the stretched rate.
+  EXPECT_GT(r.cores[0].jobs_degraded, 0u);
+}
+
+TEST(EngineParityTest, DeepModeSwitchCascadeAcrossEightLevels) {
+  // Task 0's budgets step 1,2,...,8: one job overrunning to 8 time units
+  // walks the core through all seven switches in a single cascade.  The
+  // pending lower-level jobs (levels 1..7) are shed as the mode passes
+  // them; the level-8 bystanders survive every bulk re-derivation.
+  std::vector<McTask> tasks;
+  tasks.emplace_back(0, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}, 10.0);
+  for (std::size_t level = 1; level <= 7; ++level) {
+    tasks.emplace_back(level, std::vector<double>(level, 0.5), 100.0);
+  }
+  tasks.emplace_back(8, std::vector<double>(8, 0.5), 100.0);
+  tasks.emplace_back(9, std::vector<double>(8, 0.5), 100.0);
+  Rig rig(std::move(tasks), 8);
+  rig.assign_all_to(0);
+  SimConfig cfg;
+  cfg.horizon = 10.0;
+  cfg.use_virtual_deadlines = false;  // plain EDF: budgets drive the cascade
+  const FixedLevelScenario worst(8);
+  const SimResult r = assert_engines_identical(rig.partition, worst, cfg);
+  EXPECT_EQ(r.cores[0].mode_switches, 7u);
+  EXPECT_EQ(r.cores[0].max_mode, 8u);
+  EXPECT_EQ(r.cores[0].jobs_dropped, 7u);   // one per level 1..7
+  EXPECT_EQ(r.cores[0].jobs_completed, 3u); // task 0 + both bystanders
+  EXPECT_FALSE(r.missed_deadline());
+}
+
+}  // namespace
+}  // namespace mcs::sim

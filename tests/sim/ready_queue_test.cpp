@@ -1,0 +1,307 @@
+#include "mcs/sim/ready_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mcs/gen/rng.hpp"
+#include "mcs/sim/arrival_calendar.hpp"
+
+namespace mcs::sim {
+namespace {
+
+Job make_job(std::size_t task, std::uint64_t number, double deadline) {
+  Job j;
+  j.task = task;
+  j.number = number;
+  j.release = 0.0;
+  j.deadline = deadline;
+  j.remaining = 1.0;
+  return j;
+}
+
+TEST(ReadyQueueTest, EdfOrdersByDeadlineThenTaskThenNumber) {
+  ReadyQueue q;
+  q.push(make_job(2, 0, 30.0));
+  q.push(make_job(1, 0, 10.0));
+  q.push(make_job(3, 0, 20.0));
+  EXPECT_EQ(q.job(q.top_sched()).task, 1u);
+  q.erase(q.top_sched());
+  EXPECT_EQ(q.job(q.top_sched()).task, 3u);
+  q.erase(q.top_sched());
+  EXPECT_EQ(q.job(q.top_sched()).task, 2u);
+}
+
+TEST(ReadyQueueTest, EdfBreaksDeadlineTiesByTaskThenNumber) {
+  ReadyQueue q;
+  q.push(make_job(5, 2, 10.0));
+  q.push(make_job(5, 1, 10.0));
+  q.push(make_job(3, 7, 10.0));
+  const Job& top = q.job(q.top_sched());
+  EXPECT_EQ(top.task, 3u);
+  q.erase(q.top_sched());
+  EXPECT_EQ(q.job(q.top_sched()).number, 1u);
+}
+
+TEST(ReadyQueueTest, FixedPriorityOrdersByRankWithDuplicateRankTieBreak) {
+  // Tasks 0 and 2 share rank 0; the (rank, task, number) total order must
+  // put task 0 first regardless of insertion order.
+  const std::vector<std::size_t> ranks = {0, 1, 0};
+  ReadyQueue q(&ranks);
+  q.push(make_job(2, 0, 5.0));   // rank 0, later task id, earliest deadline
+  q.push(make_job(1, 0, 1.0));   // rank 1
+  q.push(make_job(0, 0, 9.0));   // rank 0, task 0
+  EXPECT_EQ(q.job(q.top_sched()).task, 0u);
+  q.erase(q.top_sched());
+  EXPECT_EQ(q.job(q.top_sched()).task, 2u);
+  q.erase(q.top_sched());
+  EXPECT_EQ(q.job(q.top_sched()).task, 1u);
+}
+
+TEST(ReadyQueueTest, TopDeadlineBreaksTiesByInsertionOrder) {
+  ReadyQueue q;
+  const JobHandle first = q.push(make_job(9, 0, 10.0));
+  q.push(make_job(1, 0, 10.0));
+  q.push(make_job(0, 0, 12.0));
+  // Tasks 9 and 1 tie on deadline; insertion order (seq) favours task 9.
+  EXPECT_EQ(q.top_deadline(), first);
+  EXPECT_DOUBLE_EQ(q.earliest_deadline(), 10.0);
+}
+
+TEST(ReadyQueueTest, TopDeadlineUnderFixedPriorityIgnoresRanks) {
+  const std::vector<std::size_t> ranks = {0, 1, 2};
+  ReadyQueue q(&ranks);
+  q.push(make_job(0, 0, 30.0));  // highest priority, latest deadline
+  const JobHandle urgent = q.push(make_job(2, 0, 10.0));
+  EXPECT_EQ(q.job(q.top_sched()).task, 0u);
+  EXPECT_EQ(q.top_deadline(), urgent);
+  EXPECT_DOUBLE_EQ(q.earliest_deadline(), 10.0);
+}
+
+TEST(ReadyQueueTest, EmptyQueuePeeks) {
+  ReadyQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.top_sched(), kNoJob);
+  EXPECT_EQ(q.top_deadline(), kNoJob);
+  EXPECT_EQ(q.earliest_deadline(), std::numeric_limits<double>::infinity());
+}
+
+TEST(ReadyQueueTest, StaleHandleNoLongerContainsAfterSlotReuse) {
+  ReadyQueue q;
+  const JobHandle h = q.push(make_job(0, 7, 10.0));
+  ASSERT_TRUE(q.contains(h, 0, 7));
+  q.erase(h);
+  EXPECT_FALSE(q.contains(h, 0, 7));
+  // The freed slot is reused; the stale handle must not match the old job.
+  const JobHandle reused = q.push(make_job(1, 3, 20.0));
+  EXPECT_EQ(reused, h);
+  EXPECT_FALSE(q.contains(h, 0, 7));
+  EXPECT_TRUE(q.contains(h, 1, 3));
+}
+
+TEST(ReadyQueueTest, UpdateReordersAfterDeadlineChange) {
+  ReadyQueue q;
+  const JobHandle a = q.push(make_job(0, 0, 10.0));
+  const JobHandle b = q.push(make_job(1, 0, 20.0));
+  ASSERT_EQ(q.top_sched(), a);
+  q.job(a).deadline = 30.0;
+  q.update(a);
+  EXPECT_EQ(q.top_sched(), b);
+  q.job(a).deadline = 5.0;
+  q.update(a);
+  EXPECT_EQ(q.top_sched(), a);
+}
+
+TEST(ReadyQueueTest, RebuildRestoresOrderAfterBulkDeadlineChange) {
+  ReadyQueue q;
+  std::vector<JobHandle> handles;
+  for (std::size_t i = 0; i < 16; ++i) {
+    handles.push_back(
+        q.push(make_job(i, 0, 100.0 + static_cast<double>(i))));
+  }
+  // Reverse every deadline in place (the mode-switch re-derivation shape),
+  // then bulk-rebuild.
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    q.job(handles[i]).deadline = 100.0 - static_cast<double>(i);
+  }
+  q.rebuild();
+  EXPECT_EQ(q.job(q.top_sched()).task, 15u);
+  EXPECT_DOUBLE_EQ(q.earliest_deadline(), 85.0);
+  EXPECT_EQ(q.top_deadline(), handles[15]);
+}
+
+/// Naive model: (job, seq) list with linear scans for both orders.
+struct NaiveQueue {
+  struct Entry {
+    Job job;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t next_seq = 0;
+
+  void push(const Job& j) { entries.push_back({j, next_seq++}); }
+  void erase(std::size_t task, std::uint64_t number) {
+    entries.erase(std::find_if(entries.begin(), entries.end(),
+                               [&](const Entry& e) {
+                                 return e.job.task == task &&
+                                        e.job.number == number;
+                               }));
+  }
+  [[nodiscard]] const Entry* top_sched(
+      const std::vector<std::size_t>* ranks) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries) {
+      if (best == nullptr) {
+        best = &e;
+        continue;
+      }
+      const auto key = [&](const Job& j) {
+        const double primary = ranks != nullptr
+                                   ? static_cast<double>((*ranks)[j.task])
+                                   : j.deadline;
+        return std::make_tuple(primary, j.task, j.number);
+      };
+      if (key(e.job) < key(best->job)) best = &e;
+    }
+    return best;
+  }
+  [[nodiscard]] const Entry* top_deadline() const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries) {
+      if (best == nullptr || e.job.deadline < best->job.deadline ||
+          (e.job.deadline == best->job.deadline && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    return best;
+  }
+};
+
+void randomized_round(std::uint64_t seed, bool fp) {
+  const std::size_t num_tasks = 12;
+  std::vector<std::size_t> ranks;
+  gen::Rng rng(seed);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    ranks.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+  }
+  ReadyQueue q(fp ? &ranks : nullptr);
+  NaiveQueue model;
+  std::vector<JobHandle> live;
+  std::uint64_t next_number = 0;
+  for (int step = 0; step < 600; ++step) {
+    const bool do_push = live.empty() || rng.bernoulli(0.55);
+    if (do_push) {
+      Job j = make_job(static_cast<std::size_t>(
+                           rng.uniform_int(0, num_tasks - 1)),
+                       next_number++,
+                       static_cast<double>(rng.uniform_int(0, 20)));
+      live.push_back(q.push(j));
+      model.push(j);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, live.size() - 1));
+      const JobHandle h = live[pick];
+      model.erase(q.job(h).task, q.job(h).number);
+      q.erase(h);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(q.size(), model.entries.size());
+    if (model.entries.empty()) {
+      ASSERT_EQ(q.top_sched(), kNoJob);
+      continue;
+    }
+    const NaiveQueue::Entry* sched =
+        model.top_sched(fp ? &ranks : nullptr);
+    ASSERT_EQ(q.job(q.top_sched()).task, sched->job.task);
+    ASSERT_EQ(q.job(q.top_sched()).number, sched->job.number);
+    const NaiveQueue::Entry* dl = model.top_deadline();
+    ASSERT_EQ(q.job(q.top_deadline()).task, dl->job.task);
+    ASSERT_EQ(q.job(q.top_deadline()).number, dl->job.number);
+    ASSERT_DOUBLE_EQ(q.earliest_deadline(), dl->job.deadline);
+  }
+}
+
+TEST(ReadyQueueTest, RandomizedAgainstNaiveModelEdf) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    randomized_round(gen::derive_seed(0xDEC0DE, seed), /*fp=*/false);
+  }
+}
+
+TEST(ReadyQueueTest, RandomizedAgainstNaiveModelFixedPriority) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    randomized_round(gen::derive_seed(0xF1F0, seed), /*fp=*/true);
+  }
+}
+
+TEST(ArrivalCalendarTest, NextTimeTracksMinimumAcrossSetTime) {
+  ArrivalCalendar cal;
+  cal.reset(5, 0.0);
+  EXPECT_DOUBLE_EQ(cal.next_time(), 0.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    cal.set_time(i, 10.0 + static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(cal.next_time(), 10.0);
+  cal.set_time(0, 40.0);
+  EXPECT_DOUBLE_EQ(cal.next_time(), 11.0);
+  cal.set_time(3, 2.5);
+  EXPECT_DOUBLE_EQ(cal.next_time(), 2.5);
+  EXPECT_DOUBLE_EQ(cal.time_of(3), 2.5);
+}
+
+TEST(ArrivalCalendarTest, CollectDueReturnsMembersInIndexOrder) {
+  // Non-power-of-two member count exercises the padded leaves.
+  ArrivalCalendar cal;
+  cal.reset(7, 100.0);
+  cal.set_time(6, 10.0);
+  cal.set_time(2, 10.0);
+  cal.set_time(4, 10.0 + 1e-12);  // within eps of the cutoff
+  std::vector<std::size_t> due;
+  cal.collect_due(10.0, 1e-9, due);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0], 2u);
+  EXPECT_EQ(due[1], 4u);
+  EXPECT_EQ(due[2], 6u);
+  cal.collect_due(5.0, 1e-9, due);
+  EXPECT_TRUE(due.empty());
+}
+
+TEST(ArrivalCalendarTest, EmptyCalendar) {
+  ArrivalCalendar cal;
+  cal.reset(0);
+  EXPECT_EQ(cal.members(), 0u);
+  EXPECT_EQ(cal.next_time(), std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> due = {99};
+  cal.collect_due(1e9, 1e-9, due);
+  EXPECT_TRUE(due.empty());
+}
+
+TEST(ArrivalCalendarTest, RandomizedAgainstNaiveScan) {
+  gen::Rng rng(0xCA1E);
+  const std::size_t members = 13;
+  ArrivalCalendar cal;
+  cal.reset(members, 0.0);
+  std::vector<double> naive(members, 0.0);
+  std::vector<std::size_t> due;
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform_int(0, members - 1));
+    const double t = rng.uniform(0.0, 50.0);
+    cal.set_time(i, t);
+    naive[i] = t;
+    ASSERT_DOUBLE_EQ(cal.next_time(),
+                     *std::min_element(naive.begin(), naive.end()));
+    const double now = rng.uniform(0.0, 50.0);
+    cal.collect_due(now, 1e-9, due);
+    std::vector<std::size_t> expect;
+    for (std::size_t m = 0; m < members; ++m) {
+      if (naive[m] <= now + 1e-9) expect.push_back(m);
+    }
+    ASSERT_EQ(due, expect);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,308 @@
+// bench_probe: latency of the batched all-cores placement probe vs. M
+// scalar probes on the same PlacementEngine state.
+//
+//   bench_probe                  # full run, writes BENCH_probe.json
+//   bench_probe --quick          # CI smoke: fewer sweeps, 1 repetition
+//   bench_probe --min-speedup 1.0
+//
+// Workload: K=4 criticality levels on M=8 cores (the paper's default
+// platform), N in {50, 100, 400} tasks.  Half the tasks are committed
+// round-robin to give the level-utilization planes a realistic mixed
+// occupancy; the other half is then probed against every core — exactly
+// the inner loop of CA-TPA's placement scan — with the default
+// min-over-feasible policy.  The scalar side issues M individual
+// PlacementEngine::probe calls per task; the batched side one
+// probe_all_cores call.  Both sides fold the same checksum over the
+// results in the same order, so the work cannot be optimized away and any
+// divergence is caught.
+//
+// Before timing, every probed task is checked bit-identical between the
+// two paths (feasible flag, new_util, increment, both accept masks), so a
+// published speedup can never come from a divergent kernel.  Exit is
+// nonzero when the aggregate batched/scalar throughput ratio falls below
+// --min-speedup (per-size times at the small end are microseconds and too
+// noisy to gate on individually).
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcs/analysis/placement.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/util/cli.hpp"
+#include "mcs/util/json.hpp"
+#include "mcs/util/table.hpp"
+
+namespace {
+
+using namespace mcs;
+
+constexpr std::size_t kCores = 8;
+constexpr Level kLevels = 4;
+constexpr std::uint64_t kSeed = 0x9D0BE;
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// The probed workload: a generated task set with the even tasks committed
+/// round-robin (feasible or not — the planes track the matrices either
+/// way) and the odd tasks left for probing.
+struct Workload {
+  TaskSet ts;
+  std::vector<std::size_t> probe_tasks;
+};
+
+Workload make_workload(std::size_t num_tasks) {
+  gen::GenParams gp;
+  gp.num_cores = kCores;
+  gp.num_levels = kLevels;
+  gp.num_tasks = num_tasks;
+  gp.nsu = 0.6;
+  Workload w{gen::generate_trial(gp, kSeed, num_tasks), {}};
+  for (std::size_t t = 1; t < w.ts.size(); t += 2) w.probe_tasks.push_back(t);
+  return w;
+}
+
+void commit_even_tasks(analysis::PlacementEngine& engine, std::size_t n) {
+  for (std::size_t t = 0; t < n; t += 2) {
+    engine.commit(t, (t / 2) % kCores);
+  }
+}
+
+/// Bitwise parity of one batched sweep against M scalar probes per task.
+/// Returns an error description, or empty when identical.
+std::string check_parity(analysis::PlacementEngine& engine,
+                         const std::vector<std::size_t>& tasks) {
+  std::vector<analysis::ProbeResult> batched(kCores);
+  std::vector<unsigned char> mask(kCores, 0);
+  const analysis::ProbePolicy policies[] = {
+      analysis::ProbePolicy::kFirstFeasible,
+      analysis::ProbePolicy::kMinOverFeasible,
+      analysis::ProbePolicy::kMaxOverFeasible};
+  for (const std::size_t t : tasks) {
+    for (const analysis::ProbePolicy policy : policies) {
+      engine.probe_all_cores(t, policy, batched);
+      for (std::size_t m = 0; m < kCores; ++m) {
+        const analysis::ProbeResult scalar = engine.probe(t, m, policy);
+        if (scalar.feasible != batched[m].feasible ||
+            !bits_equal(scalar.new_util, batched[m].new_util) ||
+            !bits_equal(scalar.increment, batched[m].increment)) {
+          std::ostringstream os;
+          os << "task " << t << " core " << m << ": batched probe diverges "
+             << "from scalar (policy " << static_cast<int>(policy) << ")";
+          return os.str();
+        }
+      }
+    }
+    engine.probe_fits_all(t, mask);
+    for (std::size_t m = 0; m < kCores; ++m) {
+      if ((mask[m] != 0) != engine.probe_fits(t, m)) {
+        return "accept-mask divergence at task " + std::to_string(t);
+      }
+    }
+    engine.probe_fits_basic_all(t, mask);
+    for (std::size_t m = 0; m < kCores; ++m) {
+      if ((mask[m] != 0) != engine.probe_fits_basic(t, m)) {
+        return "Eq.(4)-mask divergence at task " + std::to_string(t);
+      }
+    }
+  }
+  return {};
+}
+
+struct ProbeRun {
+  double seconds = 0.0;
+  std::uint64_t probes = 0;
+  double checksum = 0.0;
+
+  [[nodiscard]] double ns_per_probe() const {
+    return probes > 0 ? seconds * 1e9 / static_cast<double>(probes) : 0.0;
+  }
+};
+
+/// Best-of-`reps` wall time for `sweeps` full probe passes, scalar path.
+ProbeRun time_scalar(analysis::PlacementEngine& engine,
+                     const std::vector<std::size_t>& tasks, std::size_t sweeps,
+                     std::size_t reps) {
+  ProbeRun best;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    double checksum = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      for (const std::size_t t : tasks) {
+        for (std::size_t m = 0; m < kCores; ++m) {
+          const analysis::ProbeResult r =
+              engine.probe(t, m, analysis::ProbePolicy::kMinOverFeasible);
+          if (r.feasible) checksum += r.new_util;
+        }
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < best.seconds) {
+      best.seconds = elapsed.count();
+      best.probes = static_cast<std::uint64_t>(sweeps * tasks.size() * kCores);
+      best.checksum = checksum;
+    }
+  }
+  return best;
+}
+
+/// Same sweep through the batched API: one probe_all_cores call per task.
+ProbeRun time_batched(analysis::PlacementEngine& engine,
+                      const std::vector<std::size_t>& tasks,
+                      std::size_t sweeps, std::size_t reps) {
+  std::vector<analysis::ProbeResult> out(kCores);
+  ProbeRun best;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    double checksum = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      for (const std::size_t t : tasks) {
+        engine.probe_all_cores(t, analysis::ProbePolicy::kMinOverFeasible,
+                               out);
+        for (std::size_t m = 0; m < kCores; ++m) {
+          if (out[m].feasible) checksum += out[m].new_util;
+        }
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < best.seconds) {
+      best.seconds = elapsed.count();
+      best.probes = static_cast<std::uint64_t>(sweeps * tasks.size() * kCores);
+      best.checksum = checksum;
+    }
+  }
+  return best;
+}
+
+util::Json num(double value, int precision = 6) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return util::Json::number_raw(os.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(
+        argc, argv,
+        {{"quick", "CI smoke: fewer sweeps, single repetition"},
+         {"out", "output JSON path (default BENCH_probe.json)"},
+         {"min-speedup",
+          "fail (exit 1) when the aggregate batched/scalar probe-throughput "
+          "ratio falls below this (default 1.0)"},
+         {"sweeps", "probe passes per timed repetition (default 200)"}});
+    if (cli.help_requested()) {
+      std::cout << cli.usage("bench_probe");
+      return 0;
+    }
+    const bool quick = cli.has("quick");
+    const std::string out_path =
+        cli.get_or("out", std::string("BENCH_probe.json"));
+    const double min_speedup = cli.get_or("min-speedup", 1.0);
+    const std::size_t sweeps = static_cast<std::size_t>(
+        cli.get_or("sweeps", quick ? std::uint64_t{20} : std::uint64_t{200}));
+    const std::size_t reps = quick ? 1 : 5;
+
+    const std::size_t sizes[] = {50, 100, 400};
+
+    util::Json doc = util::Json::object();
+    doc.set("bench", util::Json::string("bench_probe"));
+    doc.set("cores", util::Json::number(std::uint64_t{kCores}));
+    doc.set("levels", util::Json::number(std::uint64_t{kLevels}));
+    doc.set("policy", util::Json::string("min-over-feasible"));
+    doc.set("sweeps", util::Json::number(std::uint64_t{sweeps}));
+    doc.set("repetitions", util::Json::number(std::uint64_t{reps}));
+    doc.set("quick", util::Json::boolean(quick));
+    util::Json rows = util::Json::array();
+
+    util::Table table({"tasks", "probes", "scalar s", "batched s",
+                       "scalar ns/probe", "batched ns/probe", "speedup"});
+    double scalar_total_s = 0.0;
+    double batched_total_s = 0.0;
+
+    for (const std::size_t n : sizes) {
+      const Workload w = make_workload(n);
+      analysis::PlacementEngine engine(w.ts, kCores);
+      commit_even_tasks(engine, w.ts.size());
+
+      const std::string parity = check_parity(engine, w.probe_tasks);
+      if (!parity.empty()) {
+        std::cerr << "bench_probe: parity failure at N=" << n << ": "
+                  << parity << "\n";
+        return 1;
+      }
+
+      const ProbeRun scalar =
+          time_scalar(engine, w.probe_tasks, sweeps, reps);
+      const ProbeRun batched =
+          time_batched(engine, w.probe_tasks, sweeps, reps);
+      if (!bits_equal(scalar.checksum, batched.checksum)) {
+        std::cerr << "bench_probe: checksum divergence at N=" << n << "\n";
+        return 1;
+      }
+      const double speedup =
+          batched.seconds > 0.0 ? scalar.seconds / batched.seconds : 0.0;
+      scalar_total_s += scalar.seconds;
+      batched_total_s += batched.seconds;
+
+      table.begin_row();
+      table.add_cell(n);
+      table.add_cell(static_cast<std::size_t>(scalar.probes));
+      table.add_cell(scalar.seconds, 4);
+      table.add_cell(batched.seconds, 4);
+      table.add_cell(scalar.ns_per_probe(), 1);
+      table.add_cell(batched.ns_per_probe(), 1);
+      table.add_cell(speedup, 2);
+
+      util::Json row = util::Json::object();
+      row.set("tasks", util::Json::number(std::uint64_t{n}));
+      row.set("probes", util::Json::number(scalar.probes));
+      util::Json scalar_json = util::Json::object();
+      scalar_json.set("seconds", num(scalar.seconds));
+      scalar_json.set("ns_per_probe", num(scalar.ns_per_probe()));
+      row.set("scalar", std::move(scalar_json));
+      util::Json batched_json = util::Json::object();
+      batched_json.set("seconds", num(batched.seconds));
+      batched_json.set("ns_per_probe", num(batched.ns_per_probe()));
+      row.set("batched", std::move(batched_json));
+      row.set("speedup", num(speedup));
+      rows.push(std::move(row));
+    }
+    doc.set("sizes", std::move(rows));
+    const double aggregate =
+        batched_total_s > 0.0 ? scalar_total_s / batched_total_s : 0.0;
+    doc.set("aggregate_speedup", num(aggregate));
+
+    table.print(std::cout);
+    std::cout << "\naggregate speedup (total scalar s / total batched s): "
+              << aggregate << "\n";
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_probe: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << doc.dump() << "\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (aggregate < min_speedup) {
+      std::cerr << "bench_probe: throughput regression: aggregate speedup "
+                << aggregate << " < required " << min_speedup << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_probe: " << e.what() << "\n";
+    return 1;
+  }
+}

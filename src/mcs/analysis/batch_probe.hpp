@@ -1,0 +1,75 @@
+// Batched all-cores probe kernels over struct-of-arrays planes.
+//
+// Evaluates "what if task tau_i joined core m" for every core m in one pass:
+// the hypothetical task row is materialized once (H(k) = plane(l_t, k) + u_t(k)),
+// and the Theorem-1 / Eq. (4) arithmetic runs as a sequence of loops over the
+// core lane (the innermost dimension), each of which auto-vectorizes:
+//
+//   * no per-core virtual calls or matrix copies,
+//   * per-level branches (which row feeds a term, which policy folds) are
+//     hoisted out of the lane loop,
+//   * data-dependent scalar `break`s (invalid lambda_j, first feasible k)
+//     become monotone per-lane validity masks expressed as ternary selects.
+//
+// Bit-identity contract: every floating-point operation that contributes to
+// a lane's result is the same operation, in the same order, as the scalar
+// path (improved_test + core_utilization on a UtilMatrix with the task
+// added).  Masked-out lanes may evaluate extra arithmetic — including
+// divisions whose IEEE inf/NaN results are discarded by the selects — but a
+// live lane's value stream is identical, so ProbeResults and accept masks
+// match the scalar API bit for bit (enforced by tests/analysis/
+// batch_probe_test and the probe-parity fuzz target).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mcs/analysis/core_util.hpp"
+#include "mcs/analysis/soa_planes.hpp"
+
+namespace mcs::analysis {
+
+/// Reusable lane buffers for the batched kernels (all sized by resize();
+/// no allocation afterwards while K and M are stable).  Planes are
+/// lane-major: row r of a (K-1) x M buffer starts at data() + r * cores.
+struct BatchProbeScratch {
+  void resize(Level num_levels, std::size_t num_cores);
+
+  std::vector<double> hrow;        ///< hypothetical task row H(k), K x M
+  std::vector<double> lambda;      ///< lambda_j plane (Eq. 6), (K-1) x M
+  std::vector<double> theta;       ///< theta(k) plane, (K-1) x M
+  std::vector<double> acc;         ///< M-wide accumulator (num/suffix/sum)
+  std::vector<double> prod;        ///< prod_{x<j} (1 - lambda_x), M
+  std::vector<double> min_term;    ///< min{U_K(K), U_K(K-1)/(1-U_K(K))}, M
+  std::vector<double> mu;          ///< running mu(k) product, M
+  std::vector<double> best;        ///< policy-fold accumulator, M
+  std::vector<double> first_avail; ///< A(best_k) for kFirstFeasible, M
+  std::vector<std::uint32_t> valid;///< lambda_valid_count per lane, M
+  std::vector<std::uint8_t> sched; ///< Theorem-1 schedulable mask, M
+  std::vector<std::uint8_t> found; ///< fold saw a feasible condition, M
+  Level levels = 0;
+  std::size_t cores = 0;
+};
+
+/// Batched core_utilization: out_util[m] = U^{Psi_m + {tau}} folded per
+/// `policy`, +infinity where the improved test rejects — bit-identical to
+/// core_utilization(with-task matrix, scratch, policy) on every core.
+/// `out_util` must hold planes.num_cores() doubles.
+void batch_core_utilization(const LevelUtilPlanes& planes, const McTask& task,
+                            ProbePolicy policy, BatchProbeScratch& scratch,
+                            double* out_util);
+
+/// Batched Eq. (4) + Theorem-1 accept masks: basic[m] = Eq. (4) holds with
+/// the task added, fits[m] = basic[m] || improved-test schedulable — the
+/// batched equivalent of PlacementEngine::probe_fits per core.  Both outputs
+/// must hold planes.num_cores() bytes.
+void batch_fits(const LevelUtilPlanes& planes, const McTask& task,
+                BatchProbeScratch& scratch, std::uint8_t* basic,
+                std::uint8_t* fits);
+
+/// Eq. (4) mask only (ablation A4).
+void batch_fits_basic(const LevelUtilPlanes& planes, const McTask& task,
+                      BatchProbeScratch& scratch, std::uint8_t* basic);
+
+}  // namespace mcs::analysis

@@ -1,6 +1,7 @@
 #include "mcs/analysis/placement.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 #include "mcs/analysis/edfvd.hpp"
@@ -30,12 +31,30 @@ void PlacementEngine::reset(const TaskSet& ts, std::size_t num_cores) {
   } else {
     partition_.emplace(ts, num_cores);
   }
+  planes_.reset(ts.num_levels(), num_cores);
+  batch_scratch_.resize(ts.num_levels(), num_cores);
+  batch_util_.assign(num_cores, 0.0);
+  batch_basic_.assign(num_cores, 0);
   scratch_.reset(ts.num_levels());
   util_.assign(num_cores, 0.0);
   probes_ = 0;
   max_util_ = 0.0;
   min_util_ = 0.0;
   minmax_valid_ = true;
+}
+
+void PlacementEngine::assert_planes_match([[maybe_unused]] std::size_t core)
+    const {
+#ifndef NDEBUG
+  const UtilMatrix& matrix = partition_->utils_on(core);
+  const Level K = matrix.num_levels();
+  for (Level j = 1; j <= K; ++j) {
+    for (Level k = 1; k <= j; ++k) {
+      assert(planes_.at(j, k, core) == matrix.level_util(j, k) &&
+             "LevelUtilPlanes drifted from the per-core UtilMatrix");
+    }
+  }
+#endif
 }
 
 const UtilMatrix& PlacementEngine::with_task(std::size_t task,
@@ -79,26 +98,93 @@ bool PlacementEngine::probe_fits_basic(std::size_t task, std::size_t core) {
   return basic_test(with_task(task, core));
 }
 
+void PlacementEngine::probe_all_cores(std::size_t task, ProbePolicy policy,
+                                      std::span<ProbeResult> out) {
+  const std::size_t cores = num_cores();
+  assert(out.size() == cores && "probe_all_cores: out must span every core");
+  // One batched call == num_cores() probes: the accounting of the scalar
+  // all-cores scan it replaces.
+  probes_ += cores;
+  g_probes.add(cores);
+  batch_core_utilization(planes_, taskset()[task], policy, batch_scratch_,
+                         batch_util_.data());
+  std::uint64_t infeasible = 0;
+  for (std::size_t m = 0; m < cores; ++m) {
+    const double new_util = batch_util_[m];
+    ProbeResult r;
+    r.feasible = new_util != kInf;
+    r.new_util = new_util;
+    r.increment = r.feasible ? new_util - util_[m] : kInf;
+    if (!r.feasible) ++infeasible;
+    out[m] = r;
+  }
+  g_probes_infeasible.add(infeasible);
+}
+
+void PlacementEngine::probe_fits_all(std::size_t task,
+                                     std::span<unsigned char> out) {
+  const std::size_t cores = num_cores();
+  assert(out.size() == cores && "probe_fits_all: out must span every core");
+  probes_ += cores;  // one batched call == num_cores() probes
+  g_probes.add(cores);
+  batch_fits(planes_, taskset()[task], batch_scratch_, batch_basic_.data(),
+             out.data());
+  // Same counter semantics as the scalar loop: Eq. (4) accepts take the
+  // fast path; every basic miss runs the improved test; an improved-test
+  // reject is an infeasible probe.
+  std::uint64_t basic_accepts = 0;
+  std::uint64_t rejects = 0;
+  for (std::size_t m = 0; m < cores; ++m) {
+    basic_accepts += batch_basic_[m] != 0 ? 1u : 0u;
+    rejects += out[m] == 0 ? 1u : 0u;
+  }
+  g_eq4_accepts.add(basic_accepts);
+  g_improved_tests.add(cores - basic_accepts);
+  g_probes_infeasible.add(rejects);
+}
+
+void PlacementEngine::probe_fits_basic_all(std::size_t task,
+                                           std::span<unsigned char> out) {
+  const std::size_t cores = num_cores();
+  assert(out.size() == cores &&
+         "probe_fits_basic_all: out must span every core");
+  probes_ += cores;  // one batched call == num_cores() probes
+  g_probes.add(cores);
+  batch_fits_basic(planes_, taskset()[task], batch_scratch_, out.data());
+}
+
 void PlacementEngine::commit(std::size_t task, std::size_t core) {
   g_commits.add();
   partition_->assign(task, core);
+  planes_.add(taskset()[task], core);
+  assert_planes_match(core);
 }
 
 void PlacementEngine::commit(std::size_t task, std::size_t core,
                              double new_util) {
   g_commits.add();
   partition_->assign(task, core);
+  planes_.add(taskset()[task], core);
+  assert_planes_match(core);
   set_util(core, new_util);
 }
 
 void PlacementEngine::uncommit(std::size_t task) {
   g_uncommits.add();
+  const std::size_t core = partition_->core_of(task);
   partition_->unassign(task);
+  planes_.remove(taskset()[task], core);
+  assert_planes_match(core);
 }
 
 void PlacementEngine::relocate(std::size_t task, std::size_t core) {
+  const std::size_t from = partition_->core_of(task);
   partition_->unassign(task);
   partition_->assign(task, core);
+  planes_.remove(taskset()[task], from);
+  planes_.add(taskset()[task], core);
+  assert_planes_match(from);
+  assert_planes_match(core);
 }
 
 void PlacementEngine::set_util(std::size_t core, double value) {

@@ -10,8 +10,12 @@
 // The engine owns all per-core placement state and makes a probe
 // allocation-free:
 //   * the Partition itself (incrementally-maintained per-core UtilMatrix),
+//   * the same numbers transposed as struct-of-arrays level-utilization
+//     planes (LevelUtilPlanes, bitwise equal to the matrices) feeding the
+//     batched all-cores probes,
 //   * one reusable scratch UtilMatrix (probe hypotheticals are copied into
-//     it, reusing its storage) and one scratch Theorem1Result,
+//     it, reusing its storage) and one scratch Theorem1Result for the
+//     scalar reference probes, plus the batched kernel's lane scratch,
 //   * cached core utilizations U^{Psi_m} with running min/max trackers for
 //     the Lambda imbalance check (Sec. III-C),
 //   * the unified probe counter every scheme reports.
@@ -19,17 +23,29 @@
 // Probes evaluate exactly the same arithmetic as the historical free
 // functions (fits / fits_basic_only / probe_assignment), so partitioning
 // decisions are bit-identical; see tests/partition/placement_parity_test.
+// The batched probes are in turn bit-identical to the scalar ones (see
+// batch_probe.hpp and the probe-parity fuzz target).
+//
+// Probe accounting: one batched all-cores call counts num_cores() probes —
+// exactly what the scalar core-scan loop it replaces would have counted
+// when every core is probed.  Schemes that used to early-exit a first-fit
+// scan (FFD, Hybrid's FFD phase) therefore report more probes than before;
+// the golden parity file and EXPERIMENTS.md counter panels were regenerated
+// under this rule (partitions themselves are unchanged).
 //
 // Engines are reusable across task sets via reset() — the Monte-Carlo
-// harness keeps one engine per worker chunk so per-trial state is recycled
-// instead of reallocated.
+// harness keeps one engine per worker chunk so per-trial state (planes and
+// lane scratch included) is recycled instead of reallocated.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "mcs/analysis/batch_probe.hpp"
 #include "mcs/analysis/core_util.hpp"
+#include "mcs/analysis/soa_planes.hpp"
 #include "mcs/core/partition.hpp"
 
 namespace mcs::analysis {
@@ -74,6 +90,23 @@ class PlacementEngine {
 
   /// Eq. (4) only (ablation A4).
   [[nodiscard]] bool probe_fits_basic(std::size_t task, std::size_t core);
+
+  // --- Batched probes (each call counts num_cores() probes) ---------------
+
+  /// Evaluates probe(task, m, policy) for every core m in one
+  /// struct-of-arrays pass over the level-utilization planes.
+  /// out.size() must equal num_cores(); out[m] is bit-identical to the
+  /// scalar probe's result.  Counts num_cores() probes.
+  void probe_all_cores(std::size_t task, ProbePolicy policy,
+                       std::span<ProbeResult> out);
+
+  /// Batched Eq. (4)/Theorem-1 accept mask: out[m] == probe_fits(task, m).
+  /// out.size() must equal num_cores().  Counts num_cores() probes.
+  void probe_fits_all(std::size_t task, std::span<unsigned char> out);
+
+  /// Batched Eq. (4)-only mask: out[m] == probe_fits_basic(task, m).
+  /// out.size() must equal num_cores().  Counts num_cores() probes.
+  void probe_fits_basic_all(std::size_t task, std::span<unsigned char> out);
 
   /// Counts one probe for schemes whose feasibility test lives outside the
   /// utilization framework (DBF, AMC-rtb response times).
@@ -120,7 +153,15 @@ class PlacementEngine {
   [[nodiscard]] const UtilMatrix& with_task(std::size_t task,
                                             std::size_t core);
 
+  /// Debug-build cross-check of the plane == matrix bitwise invariant on
+  /// one core's lane (no-op under NDEBUG).
+  void assert_planes_match(std::size_t core) const;
+
   std::optional<Partition> partition_;
+  LevelUtilPlanes planes_;  ///< SoA mirror of the per-core UtilMatrix state
+  BatchProbeScratch batch_scratch_;
+  std::vector<double> batch_util_;  ///< batched new-utilization lane buffer
+  std::vector<unsigned char> batch_basic_;  ///< batched Eq. (4) mask buffer
   UtilMatrix scratch_{1};
   Theorem1Result test_scratch_;
   std::vector<double> util_;

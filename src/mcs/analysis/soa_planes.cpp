@@ -1,0 +1,42 @@
+#include "mcs/analysis/soa_planes.hpp"
+
+#include <stdexcept>
+
+namespace mcs::analysis {
+
+void LevelUtilPlanes::reset(Level num_levels, std::size_t num_cores) {
+  if (num_levels < 1) {
+    throw std::invalid_argument("LevelUtilPlanes::reset: need at least one level");
+  }
+  levels_ = num_levels;
+  cores_ = num_cores;
+  u_.assign(static_cast<std::size_t>(levels_) * levels_ * cores_, 0.0);
+}
+
+void LevelUtilPlanes::add(const McTask& task, std::size_t core) {
+  const Level j = task.level();
+  if (j > levels_) {
+    throw std::invalid_argument(
+        "LevelUtilPlanes::add: task level exceeds system K");
+  }
+  for (Level k = 1; k <= j; ++k) {
+    u_[index(j, k) + core] += task.utilization(k);
+  }
+}
+
+void LevelUtilPlanes::remove(const McTask& task, std::size_t core) {
+  const Level j = task.level();
+  if (j > levels_) {
+    throw std::invalid_argument(
+        "LevelUtilPlanes::remove: task level exceeds system K");
+  }
+  for (Level k = 1; k <= j; ++k) {
+    double& u = u_[index(j, k) + core];
+    u -= task.utilization(k);
+    // Same tiny-negative clamp as UtilMatrix::remove — required for the
+    // bitwise plane == matrix invariant.
+    if (u < 0.0 && u > -1e-12) u = 0.0;
+  }
+}
+
+}  // namespace mcs::analysis

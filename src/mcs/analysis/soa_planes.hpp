@@ -1,0 +1,67 @@
+// Struct-of-arrays level-utilization planes.
+//
+// The Partition stores one UtilMatrix per core (array-of-structs): probing a
+// task against all M cores walks M scattered K x K matrices.  For the batched
+// all-cores probe (batch_probe.hpp) the same numbers are kept transposed as
+// K x K planes of M contiguous doubles each:
+//
+//   plane(j, k)[m] == partition.utils_on(m).level_util(j, k)   (bitwise)
+//
+// so one pass of the Theorem-1 kernel streams each plane once and the inner
+// loop over cores auto-vectorizes.  The invariant above is maintained
+// inductively: add()/remove() perform exactly the arithmetic of
+// UtilMatrix::add/remove (same += / -= on a value with the same history,
+// including the tiny-negative clamp on remove), so plane entries never drift
+// from the matrices by even one ulp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mcs/core/taskset.hpp"
+
+namespace mcs::analysis {
+
+/// K x K lower-triangular grid of per-core utilization planes; entry
+/// (j, k, m), k <= j, stores U_j(k) of core m's subset.
+class LevelUtilPlanes {
+ public:
+  LevelUtilPlanes() = default;
+
+  /// Re-initializes to all-zero planes for `num_levels` levels and
+  /// `num_cores` cores, reusing storage when possible (the no-allocation
+  /// path of PlacementEngine::reset on the Monte-Carlo steady state).
+  void reset(Level num_levels, std::size_t num_cores);
+
+  [[nodiscard]] Level num_levels() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t num_cores() const noexcept { return cores_; }
+
+  /// Mirrors UtilMatrix::add/remove on core `core`'s lane of rows
+  /// (j, 1..j).  The task's level must not exceed num_levels().
+  void add(const McTask& task, std::size_t core);
+  void remove(const McTask& task, std::size_t core);
+
+  /// The M-wide plane of U_j(k) values, one lane per core.
+  /// Requires 1 <= k <= j <= num_levels().
+  [[nodiscard]] const double* plane(Level j, Level k) const noexcept {
+    return u_.data() + index(j, k);
+  }
+
+  /// U_j(k) of one core (debug/cross-check accessor).
+  [[nodiscard]] double at(Level j, Level k, std::size_t core) const {
+    return u_[index(j, k) + core];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(Level j, Level k) const noexcept {
+    return (static_cast<std::size_t>(j - 1) * levels_ +
+            static_cast<std::size_t>(k - 1)) *
+           cores_;
+  }
+
+  Level levels_ = 0;
+  std::size_t cores_ = 0;
+  std::vector<double> u_;  // (K*K) planes of M doubles, zero above diagonal
+};
+
+}  // namespace mcs::analysis

@@ -27,9 +27,11 @@ PointResult run_point(const gen::GenParams& params,
       static_cast<std::size_t>(chunks),
       [&](std::size_t chunk) {
         std::vector<SchemeAggregate> local(schemes.size());
-        // One engine per chunk: partition, scratch matrices and utilization
-        // caches are recycled across every trial x scheme of the chunk
-        // instead of being reallocated per run.
+        // One engine per chunk: partition, scratch matrices, utilization
+        // caches, the SoA level-utilization planes and the batched-probe
+        // scratch are all recycled across every trial x scheme of the chunk
+        // (reset() re-assigns in place), so the batched kernel runs
+        // allocation-free throughout a sweep.
         analysis::PlacementEngine engine;
         const std::uint64_t begin = static_cast<std::uint64_t>(chunk) * kChunk;
         const std::uint64_t end = std::min(begin + kChunk, options.trials);

@@ -38,17 +38,25 @@ namespace {
 /// true is returned; otherwise the partition (and the utilization cache) is
 /// left exactly as it was — tentative moves go through relocate(), which
 /// does not touch the cache.
+///
+/// The victim-vs-all-refuges scan is one batched probe: no core's state
+/// changes between the historical scalar refuge probes (each refuge is
+/// first touched only in its own iteration), so probing every refuge up
+/// front against the loop-entry state yields bit-identical ProbeResults.
+/// The task-on-dest re-probe stays scalar — it runs against a partition
+/// that genuinely differs per attempt.
 bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
-                analysis::ProbePolicy policy) {
+                analysis::ProbePolicy policy,
+                std::vector<analysis::ProbeResult>& probes) {
   const std::size_t cores = engine.num_cores();
   for (std::size_t dest = 0; dest < cores; ++dest) {
     // Candidate tasks to evict from `dest` (copy: we mutate the partition).
     const std::vector<std::size_t> members = engine.partition().tasks_on(dest);
     for (std::size_t victim : members) {
+      engine.probe_all_cores(victim, policy, probes);
       for (std::size_t refuge = 0; refuge < cores; ++refuge) {
         if (refuge == dest) continue;
-        const analysis::ProbeResult victim_probe =
-            engine.probe(victim, refuge, policy);
+        const analysis::ProbeResult& victim_probe = probes[refuge];
         if (!victim_probe.feasible) continue;
         g_repair_relocations.add();
         engine.relocate(victim, refuge);
@@ -76,6 +84,10 @@ PlacementOutcome CaTpaPartitioner::run_on(
                                              ? order_by_contribution(ts)
                                              : order_by_max_utilization(ts);
 
+  std::vector<analysis::ProbeResult> probes(num_cores);
+  std::vector<Candidate> candidates(num_cores);
+  std::vector<unsigned char> feasible(num_cores, 0);
+
   PlacementOutcome outcome;
   for (std::size_t t : order) {
     // Imbalance fallback (Sec. III-C): when the partition has drifted out of
@@ -84,22 +96,23 @@ PlacementOutcome CaTpaPartitioner::run_on(
                            engine.imbalance() >= options_.alpha;
     if (rebalance) g_rebalance.add();
 
-    const CoreChoice choice = select_core(
-        num_cores, SelectionRule::kMinKey, kTieEps,
-        [&](std::size_t m) -> std::optional<Candidate> {
-          const analysis::ProbeResult probe =
-              engine.probe(t, m, options_.probe_policy);
-          if (!probe.feasible) return std::nullopt;
-          // Selection key: current utilization when re-balancing (pick the
-          // emptiest core), utilization increment otherwise (Algorithm 1
-          // line 8).
-          return Candidate{rebalance ? engine.util(m) : probe.increment,
-                           probe.new_util};
-        });
+    // One batched all-cores probe, then reduce the result vector.
+    // Selection key: current utilization when re-balancing (pick the
+    // emptiest core), utilization increment otherwise (Algorithm 1 line 8).
+    engine.probe_all_cores(t, options_.probe_policy, probes);
+    for (std::size_t m = 0; m < num_cores; ++m) {
+      feasible[m] = probes[m].feasible ? 1 : 0;
+      candidates[m] = Candidate{
+          rebalance ? engine.util(m) : probes[m].increment,
+          probes[m].new_util};
+    }
+    const CoreChoice choice =
+        reduce_core_choice(candidates, feasible, SelectionRule::kMinKey,
+                           kTieEps);
     if (choice.core == kUnassigned) {
       if (options_.enable_repair) {
         g_repair_calls.add();
-        if (try_repair(engine, t, options_.probe_policy)) {
+        if (try_repair(engine, t, options_.probe_policy, probes)) {
           g_repair_success.add();
           continue;
         }

@@ -9,18 +9,25 @@ std::optional<std::size_t> allocate_with_rule(
   const SelectionRule selection = rule == FitRule::kFirst
                                       ? SelectionRule::kFirstFeasible
                                       : SelectionRule::kMinKey;
-  return place_in_order(
+  return place_in_order_batched(
       order, engine.num_cores(), selection, 0.0,
-      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
-        const bool ok = basic_only ? engine.probe_fits_basic(t, m)
-                                   : engine.probe_fits(t, m);
-        if (!ok) return std::nullopt;
-        if (rule == FitRule::kFirst) return Candidate{};
-        // Best fit wants the highest load; negate so the shared min-key
-        // selection picks it (IEEE negation is exact, so ties still break
-        // toward the smaller core index).
-        const double load = engine.load(m);
-        return Candidate{rule == FitRule::kBest ? -load : load};
+      [&](std::size_t t, std::span<Candidate> candidates,
+          std::span<unsigned char> feasible) {
+        // One batched Eq. (4)/Theorem-1 accept mask over all cores.
+        if (basic_only) {
+          engine.probe_fits_basic_all(t, feasible);
+        } else {
+          engine.probe_fits_all(t, feasible);
+        }
+        if (rule == FitRule::kFirst) return;  // keys are never consulted
+        for (std::size_t m = 0; m < feasible.size(); ++m) {
+          if (!feasible[m]) continue;
+          // Best fit wants the highest load; negate so the shared min-key
+          // reduction picks it (IEEE negation is exact, so ties still break
+          // toward the smaller core index).
+          const double load = engine.load(m);
+          candidates[m] = Candidate{rule == FitRule::kBest ? -load : load};
+        }
       },
       [&](std::size_t t, const CoreChoice& choice) {
         engine.commit(t, choice.core);

@@ -1,5 +1,6 @@
 #include "mcs/partition/dbf_ffd.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mcs/core/contributions.hpp"
@@ -18,16 +19,26 @@ PlacementOutcome DbfFfdPartitioner::run_on(
                                              : order_by_max_utilization(ts);
   std::vector<std::size_t> members;  // reused across probes
   PlacementOutcome outcome;
-  outcome.failed_task = place_in_order(
+  // The DBF test works off member lists, not the utilization planes, so the
+  // fill loops cores with the scalar test (count_probe per core attempted)
+  // and early-exits at the first feasible core — the batched engine-level
+  // M-probe accounting applies only to true plane-backed batched probes.
+  outcome.failed_task = place_in_order_batched(
       order, engine.num_cores(), SelectionRule::kFirstFeasible, 0.0,
-      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
-        engine.count_probe();
-        members = engine.partition().tasks_on(m);
-        members.push_back(t);
-        if (!analysis::dbf_dual_test(ts, members, options_).schedulable) {
-          return std::nullopt;
+      [&](std::size_t t, std::span<Candidate> /*candidates*/,
+          std::span<unsigned char> feasible) {
+        std::fill(feasible.begin(), feasible.end(),
+                  static_cast<unsigned char>(0));
+        for (std::size_t m = 0; m < feasible.size(); ++m) {
+          engine.count_probe();
+          members = engine.partition().tasks_on(m);
+          members.push_back(t);
+          if (!analysis::dbf_dual_test(ts, members, options_).schedulable) {
+            continue;
+          }
+          feasible[m] = 1;
+          break;  // first feasible wins; later cores are never probed
         }
-        return Candidate{};
       },
       [&](std::size_t t, const CoreChoice& choice) {
         engine.commit(t, choice.core);

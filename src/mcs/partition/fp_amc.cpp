@@ -45,20 +45,28 @@ PlacementOutcome FpAmcPartitioner::run_on(
     return a < b;
   });
 
+  const SelectionRule selection = rule_ == FitRule::kFirst
+                                      ? SelectionRule::kFirstFeasible
+                                      : SelectionRule::kMinKey;
   std::vector<std::size_t> members;  // reused across probes
   PlacementOutcome outcome;
-  outcome.failed_task = place_in_order(
-      order, engine.num_cores(),
-      rule_ == FitRule::kFirst ? SelectionRule::kFirstFeasible
-                               : SelectionRule::kMinKey,
-      0.0,
-      [&](std::size_t t, std::size_t m) -> std::optional<Candidate> {
-        if (!fits_amc(engine, t, m, assignment_, members)) {
-          return std::nullopt;
+  // AMC-rtb feasibility works off member lists, not the utilization planes,
+  // so the fill loops cores with the scalar test (count_probe per core
+  // attempted inside fits_amc) and, under first-fit, early-exits at the
+  // first feasible core — preserving the historical probe counts.
+  outcome.failed_task = place_in_order_batched(
+      order, engine.num_cores(), selection, 0.0,
+      [&](std::size_t t, std::span<Candidate> candidates,
+          std::span<unsigned char> feasible) {
+        std::fill(feasible.begin(), feasible.end(),
+                  static_cast<unsigned char>(0));
+        for (std::size_t m = 0; m < feasible.size(); ++m) {
+          if (!fits_amc(engine, t, m, assignment_, members)) continue;
+          feasible[m] = 1;
+          if (rule_ == FitRule::kFirst) break;  // first feasible wins
+          const double load = engine.load(m);
+          candidates[m] = Candidate{rule_ == FitRule::kBest ? -load : load};
         }
-        if (rule_ == FitRule::kFirst) return Candidate{};
-        const double load = engine.load(m);
-        return Candidate{rule_ == FitRule::kBest ? -load : load};
       },
       [&](std::size_t t, const CoreChoice& choice) {
         engine.commit(t, choice.core);

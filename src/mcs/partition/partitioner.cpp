@@ -2,6 +2,23 @@
 
 namespace mcs::partition {
 
+CoreChoice reduce_core_choice(std::span<const Candidate> candidates,
+                              std::span<const unsigned char> feasible,
+                              SelectionRule rule, double tie_eps) {
+  CoreChoice best;
+  for (std::size_t m = 0; m < candidates.size(); ++m) {
+    if (!feasible[m]) continue;
+    if (rule == SelectionRule::kFirstFeasible) {
+      best = CoreChoice{m, candidates[m].key, candidates[m].payload};
+      break;
+    }
+    if (candidates[m].key < best.key - tie_eps) {
+      best = CoreChoice{m, candidates[m].key, candidates[m].payload};
+    }
+  }
+  return best;
+}
+
 PartitionResult Partitioner::run(const TaskSet& ts,
                                  std::size_t num_cores) const {
   analysis::PlacementEngine engine(ts, num_cores);

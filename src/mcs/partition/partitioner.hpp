@@ -3,11 +3,20 @@
 // A Partitioner maps a TaskSet onto M cores such that every core passes the
 // EDF-VD schedulability test (Eq. 4 fast path, Theorem 1 full test).  All
 // schemes in the paper fit a two-step template: (a) order the tasks, (b) pick
-// a target core per task.  Step (b) is factored into one shared core-scan —
-// select_core()/place_in_order() below — parameterized by a probe functor
-// (which feasibility test gates a placement and what selection key it
-// yields) and a selection rule (first feasible vs. minimum key); all probing
-// state lives in an analysis::PlacementEngine.
+// a target core per task.  Step (b) is factored into one shared skeleton:
+// the task loop issues ONE batched all-cores probe per task (filling a
+// per-core Candidate vector and a feasibility mask) and reduces the result
+// vector to a core choice — place_in_order_batched()/reduce_core_choice()
+// below — parameterized by a fill functor (which feasibility test gates a
+// placement and what selection key it yields) and a selection rule (first
+// feasible vs. minimum key); all probing state lives in an
+// analysis::PlacementEngine.
+//
+// The scalar loop-over-cores skeleton (select_core()/place_in_order()) is
+// kept as the reference implementation: reduce_core_choice() makes exactly
+// the decisions select_core() makes on the same candidates, and the batched
+// engine probes are bit-identical to the scalar ones, so both skeletons
+// produce the same partitions (golden parity + probe-parity fuzz target).
 #pragma once
 
 #include <limits>
@@ -107,9 +116,10 @@ template <typename ProbeFn>
   return best;
 }
 
-/// The shared order-then-place loop: for each task of `order`, selects a
-/// core via select_core and commits it with `place(task, choice)`.  Returns
-/// the first unplaceable task, or nullopt when every task was placed.
+/// The scalar order-then-place loop (reference implementation): for each
+/// task of `order`, selects a core via select_core and commits it with
+/// `place(task, choice)`.  Returns the first unplaceable task, or nullopt
+/// when every task was placed.
 template <typename ProbeFn, typename PlaceFn>
 std::optional<std::size_t> place_in_order(std::span<const std::size_t> order,
                                           std::size_t num_cores,
@@ -119,6 +129,40 @@ std::optional<std::size_t> place_in_order(std::span<const std::size_t> order,
     const CoreChoice choice = select_core(
         num_cores, rule, tie_eps,
         [&](std::size_t m) { return probe(t, m); });
+    if (choice.core == kUnassigned) return t;
+    place(t, choice);
+  }
+  return std::nullopt;
+}
+
+/// Reduces a batched probe's result vector to a core choice: core m is
+/// usable when feasible[m] != 0, its key/payload sit in candidates[m].
+/// Decision-for-decision identical to select_core() over the same
+/// candidates: first feasible stops at the lowest usable index; min-key
+/// scans ascending and replaces the incumbent only when
+/// key < best.key - tie_eps, so ties go to the smaller core index.
+[[nodiscard]] CoreChoice reduce_core_choice(
+    std::span<const Candidate> candidates,
+    std::span<const unsigned char> feasible, SelectionRule rule,
+    double tie_eps);
+
+/// The batched order-then-place loop: for each task of `order`,
+/// `fill(task, candidates, feasible)` performs ONE batched all-cores probe
+/// (writing per-core keys/payloads and the feasibility mask), the result
+/// vector is reduced via reduce_core_choice, and the winner is committed
+/// with `place(task, choice)`.  Returns the first unplaceable task, or
+/// nullopt when every task was placed.
+template <typename FillFn, typename PlaceFn>
+std::optional<std::size_t> place_in_order_batched(
+    std::span<const std::size_t> order, std::size_t num_cores,
+    SelectionRule rule, double tie_eps, FillFn&& fill, PlaceFn&& place) {
+  std::vector<Candidate> candidates(num_cores);
+  std::vector<unsigned char> feasible(num_cores, 0);
+  for (const std::size_t t : order) {
+    fill(t, std::span<Candidate>(candidates),
+         std::span<unsigned char>(feasible));
+    const CoreChoice choice =
+        reduce_core_choice(candidates, feasible, rule, tie_eps);
     if (choice.core == kUnassigned) return t;
     place(t, choice);
   }

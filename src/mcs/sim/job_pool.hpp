@@ -51,6 +51,9 @@ class JobPool {
     bool active = false;
   };
 
+  /// Pre-sizes the slot vector for `jobs` concurrent residents.
+  void reserve(std::size_t jobs) { slots_.reserve(jobs); }
+
   /// Stores `job` in a recycled or fresh slot and stamps the next insertion
   /// sequence number.  Heap positions are left for the caller to set.
   JobHandle allocate(const Job& job) {

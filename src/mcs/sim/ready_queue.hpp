@@ -46,6 +46,14 @@ class ReadyQueue {
   explicit ReadyQueue(const std::vector<std::size_t>* fp_ranks = nullptr)
       : fp_ranks_(fp_ranks) {}
 
+  /// Pre-sizes the pool and heap storage for `jobs` concurrently ready
+  /// jobs (a hint, not a cap — growth past it just reallocates as usual).
+  void reserve(std::size_t jobs) {
+    pool_.reserve(jobs);
+    sched_heap_.reserve(jobs);
+    if (fp()) dl_heap_.reserve(jobs);
+  }
+
   /// Inserts a job; assigns the next insertion sequence number.
   JobHandle push(const Job& job);
 

@@ -1,6 +1,7 @@
 #include "mcs/verify/differential.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <iomanip>
 #include <limits>
@@ -560,6 +561,117 @@ CheckResult check_engine_parity(const TaskSet& ts, std::size_t num_cores,
         !r.ok) {
       r.detail += " (round " + std::to_string(round) + ")";
       return r;
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Strict bitwise double equality (== would conflate +0.0 and -0.0).
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+CheckResult check_probe_parity(const TaskSet& ts, std::size_t num_cores,
+                               std::uint64_t seed) {
+  analysis::PlacementEngine engine(ts, num_cores);
+  gen::Rng rng(gen::derive_seed(seed, 0xBA7C4));
+  std::vector<std::size_t> core_of(ts.size(), kUnassigned);
+  std::vector<analysis::ProbeResult> batched(num_cores);
+  std::vector<unsigned char> mask(num_cores, 0);
+
+  // Compares every batched API against num_cores() scalar probes for one
+  // task on the CURRENT engine state.  Scalar and batched results must be
+  // bitwise identical — not merely close — and each batched call must count
+  // exactly num_cores() probes.
+  const auto compare_task = [&](std::size_t t) -> CheckResult {
+    const analysis::ProbePolicy policies[] = {
+        analysis::ProbePolicy::kFirstFeasible,
+        analysis::ProbePolicy::kMinOverFeasible,
+        analysis::ProbePolicy::kMaxOverFeasible};
+    for (const analysis::ProbePolicy policy : policies) {
+      const std::size_t before = engine.probes();
+      engine.probe_all_cores(t, policy, batched);
+      if (engine.probes() != before + num_cores) {
+        std::ostringstream os;
+        os << "probe_all_cores accounting: probes() advanced by "
+           << engine.probes() - before << ", expected " << num_cores;
+        return fail(os.str());
+      }
+      for (std::size_t m = 0; m < num_cores; ++m) {
+        const analysis::ProbeResult scalar = engine.probe(t, m, policy);
+        if (scalar.feasible != batched[m].feasible ||
+            !bits_equal(scalar.new_util, batched[m].new_util) ||
+            !bits_equal(scalar.increment, batched[m].increment)) {
+          std::ostringstream os;
+          os << std::setprecision(17) << "probe_all_cores: task " << t
+             << " core " << m << " policy " << static_cast<int>(policy)
+             << ": batched {" << batched[m].feasible << ", "
+             << batched[m].new_util << ", " << batched[m].increment
+             << "} vs scalar {" << scalar.feasible << ", " << scalar.new_util
+             << ", " << scalar.increment << "}";
+          return fail(os.str());
+        }
+      }
+    }
+    {
+      const std::size_t before = engine.probes();
+      engine.probe_fits_all(t, mask);
+      if (engine.probes() != before + num_cores) {
+        return fail("probe_fits_all accounting: expected num_cores() probes");
+      }
+      for (std::size_t m = 0; m < num_cores; ++m) {
+        if ((mask[m] != 0) != engine.probe_fits(t, m)) {
+          std::ostringstream os;
+          os << "probe_fits_all: task " << t << " core " << m << " mask "
+             << static_cast<int>(mask[m]) << " disagrees with scalar";
+          return fail(os.str());
+        }
+      }
+    }
+    {
+      const std::size_t before = engine.probes();
+      engine.probe_fits_basic_all(t, mask);
+      if (engine.probes() != before + num_cores) {
+        return fail(
+            "probe_fits_basic_all accounting: expected num_cores() probes");
+      }
+      for (std::size_t m = 0; m < num_cores; ++m) {
+        if ((mask[m] != 0) != engine.probe_fits_basic(t, m)) {
+          std::ostringstream os;
+          os << "probe_fits_basic_all: task " << t << " core " << m
+             << " mask " << static_cast<int>(mask[m])
+             << " disagrees with scalar";
+          return fail(os.str());
+        }
+      }
+    }
+    return {};
+  };
+
+  // Random placement workout: probe-parity must hold on empty, partially
+  // filled, overloaded and churned (uncommit/relocate) plane states alike.
+  const std::size_t steps = 3 * ts.size() + 8;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::size_t t = rng.uniform_int(0, ts.size() - 1);
+    if (CheckResult r = compare_task(t); !r.ok) return r;
+
+    if (core_of[t] == kUnassigned) {
+      // Place it somewhere (feasible or not: the planes must track the
+      // matrices regardless of schedulability).
+      const std::size_t m = rng.uniform_int(0, num_cores - 1);
+      engine.commit(t, m);
+      core_of[t] = m;
+    } else if (rng.bernoulli(0.5) && num_cores > 1) {
+      const std::size_t m = rng.uniform_int(0, num_cores - 1);
+      engine.relocate(t, m);
+      core_of[t] = m;
+    } else {
+      engine.uncommit(t);
+      core_of[t] = kUnassigned;
     }
   }
   return {};

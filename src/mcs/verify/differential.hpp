@@ -22,7 +22,13 @@
 //     the reference O(n)-scan loop must produce bit-identical SimResults
 //     and trace streams on randomized partitions, schedulers (including
 //     explicit fixed priorities with duplicate ranks), sporadic jitter,
-//     degraded service and mode-reset configurations.
+//     degraded service and mode-reset configurations;
+//   * probe parity       -- the batched struct-of-arrays all-cores probes
+//     (probe_all_cores / probe_fits_all / probe_fits_basic_all) must be
+//     BITWISE identical to num_cores() scalar probes — every ProbeResult
+//     field under all three policies plus both accept masks — across a
+//     random commit/uncommit/relocate workout, and each batched call must
+//     advance probes() by exactly num_cores().
 //
 // Checkers return ok/detail rather than asserting so the fuzz driver can
 // shrink a failing input and the corpus replayer can report it.
@@ -83,5 +89,13 @@ struct CheckResult {
 [[nodiscard]] CheckResult check_engine_parity(const TaskSet& ts,
                                               std::size_t num_cores,
                                               std::uint64_t seed);
+
+/// Batched-vs-scalar probe differential on a random placement workout (the
+/// "probe-parity" fuzz target): bitwise ProbeResult equality under every
+/// policy, accept-mask equality, and the one-batched-call ==
+/// num_cores()-probes accounting contract.
+[[nodiscard]] CheckResult check_probe_parity(const TaskSet& ts,
+                                             std::size_t num_cores,
+                                             std::uint64_t seed);
 
 }  // namespace mcs::verify

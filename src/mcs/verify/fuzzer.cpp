@@ -87,6 +87,10 @@ std::string check_case(FuzzTarget target, const FuzzCase& c,
       const CheckResult r = check_engine_parity(c.ts, c.num_cores, case_seed);
       return r.ok ? std::string() : r.detail;
     }
+    case FuzzTarget::kProbeParity: {
+      const CheckResult r = check_probe_parity(c.ts, c.num_cores, case_seed);
+      return r.ok ? std::string() : r.detail;
+    }
     case FuzzTarget::kSoundness: {
       const auto partitioner = partition::make_scheme(scheme);
       const partition::PartitionResult result =
@@ -147,8 +151,10 @@ FuzzTarget parse_target(const std::string& name) {
   if (name == "differential") return FuzzTarget::kDifferential;
   if (name == "io") return FuzzTarget::kIo;
   if (name == "engine-parity") return FuzzTarget::kEngineParity;
-  throw std::invalid_argument("parse_target: unknown target '" + name +
-                              "' (soundness|differential|io|engine-parity)");
+  if (name == "probe-parity") return FuzzTarget::kProbeParity;
+  throw std::invalid_argument(
+      "parse_target: unknown target '" + name +
+      "' (soundness|differential|io|engine-parity|probe-parity)");
 }
 
 std::string target_name(FuzzTarget target) {
@@ -161,6 +167,8 @@ std::string target_name(FuzzTarget target) {
       return "io";
     case FuzzTarget::kEngineParity:
       return "engine-parity";
+    case FuzzTarget::kProbeParity:
+      return "probe-parity";
   }
   return "?";
 }

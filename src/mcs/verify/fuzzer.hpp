@@ -15,7 +15,9 @@
 //   * differential  -- the incremental-vs-scratch checkers (differential.hpp);
 //   * io            -- serialization round-trips;
 //   * engine-parity -- the fast and reference simulation kernels must be
-//                      bit-identical (check_engine_parity).
+//                      bit-identical (check_engine_parity);
+//   * probe-parity  -- the batched all-cores placement probes must be
+//                      bit-identical to scalar probes (check_probe_parity).
 #pragma once
 
 #include <cstdint>
@@ -26,10 +28,16 @@
 
 namespace mcs::verify {
 
-enum class FuzzTarget { kSoundness, kDifferential, kIo, kEngineParity };
+enum class FuzzTarget {
+  kSoundness,
+  kDifferential,
+  kIo,
+  kEngineParity,
+  kProbeParity
+};
 
-/// Parses "soundness" | "differential" | "io" | "engine-parity"; throws
-/// std::invalid_argument otherwise.
+/// Parses "soundness" | "differential" | "io" | "engine-parity" |
+/// "probe-parity"; throws std::invalid_argument otherwise.
 [[nodiscard]] FuzzTarget parse_target(const std::string& name);
 [[nodiscard]] std::string target_name(FuzzTarget target);
 

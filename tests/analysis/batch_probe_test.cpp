@@ -1,0 +1,133 @@
+// Property test for the batched all-cores probe API: across a grid of
+// K in {1, 2, 4} x M in {1, 2, 4, 8, 64} and random task sets,
+// probe_all_cores / probe_fits_all / probe_fits_basic_all must be BITWISE
+// identical to M scalar probes — every ProbeResult field under all three
+// policies and both accept masks — on empty, partially filled and churned
+// (uncommit/relocate) engine states, and each batched call must advance
+// probes() by exactly num_cores() (the documented accounting contract).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "mcs/analysis/placement.hpp"
+#include "mcs/gen/rng.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+class BatchProbeProperty
+    : public ::testing::TestWithParam<std::tuple<Level, std::size_t>> {};
+
+void expect_batched_matches_scalar(PlacementEngine& engine, std::size_t task,
+                                   const char* when) {
+  const std::size_t cores = engine.num_cores();
+  std::vector<ProbeResult> batched(cores);
+  std::vector<unsigned char> mask(cores, 0);
+
+  const ProbePolicy policies[] = {ProbePolicy::kFirstFeasible,
+                                  ProbePolicy::kMinOverFeasible,
+                                  ProbePolicy::kMaxOverFeasible};
+  for (const ProbePolicy policy : policies) {
+    const std::size_t before = engine.probes();
+    engine.probe_all_cores(task, policy, batched);
+    ASSERT_EQ(engine.probes(), before + cores)
+        << when << ": one batched call must count num_cores() probes";
+    for (std::size_t m = 0; m < cores; ++m) {
+      const ProbeResult scalar = engine.probe(task, m, policy);
+      ASSERT_EQ(scalar.feasible, batched[m].feasible)
+          << when << ": task " << task << " core " << m << " policy "
+          << static_cast<int>(policy);
+      ASSERT_TRUE(bits_equal(scalar.new_util, batched[m].new_util))
+          << when << ": new_util " << batched[m].new_util << " vs scalar "
+          << scalar.new_util << " (task " << task << " core " << m << ")";
+      ASSERT_TRUE(bits_equal(scalar.increment, batched[m].increment))
+          << when << ": increment " << batched[m].increment << " vs scalar "
+          << scalar.increment << " (task " << task << " core " << m << ")";
+    }
+  }
+
+  {
+    const std::size_t before = engine.probes();
+    engine.probe_fits_all(task, mask);
+    ASSERT_EQ(engine.probes(), before + cores)
+        << when << ": probe_fits_all accounting";
+    for (std::size_t m = 0; m < cores; ++m) {
+      ASSERT_EQ(mask[m] != 0, engine.probe_fits(task, m))
+          << when << ": accept mask, task " << task << " core " << m;
+    }
+  }
+  {
+    const std::size_t before = engine.probes();
+    engine.probe_fits_basic_all(task, mask);
+    ASSERT_EQ(engine.probes(), before + cores)
+        << when << ": probe_fits_basic_all accounting";
+    for (std::size_t m = 0; m < cores; ++m) {
+      ASSERT_EQ(mask[m] != 0, engine.probe_fits_basic(task, m))
+          << when << ": Eq. (4) mask, task " << task << " core " << m;
+    }
+  }
+}
+
+TEST_P(BatchProbeProperty, BitIdenticalToScalarProbes) {
+  const Level K = std::get<0>(GetParam());
+  const std::size_t M = std::get<1>(GetParam());
+
+  gen::GenParams gp;
+  gp.num_cores = M;
+  gp.num_levels = K;
+  gp.num_tasks = 24;
+  gp.nsu = 0.7;
+
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7}}) {
+    const TaskSet ts = gen::generate_trial(gp, seed, 0);
+    PlacementEngine engine(ts, M);
+    gen::Rng rng(gen::derive_seed(seed, 0xB47C));
+    std::vector<std::size_t> core_of(ts.size(), kUnassigned);
+
+    // Parity on the empty engine, then across a random placement workout
+    // (assignments need not be feasible: the planes must mirror the
+    // matrices regardless of schedulability).
+    expect_batched_matches_scalar(engine, 0, "empty");
+    if (::testing::Test::HasFatalFailure()) return;
+    const std::size_t steps = 2 * ts.size();
+    for (std::size_t step = 0; step < steps; ++step) {
+      const std::size_t t = rng.uniform_int(0, ts.size() - 1);
+      if (core_of[t] == kUnassigned) {
+        const std::size_t m = rng.uniform_int(0, M - 1);
+        engine.commit(t, m);
+        core_of[t] = m;
+      } else if (rng.bernoulli(0.5) && M > 1) {
+        const std::size_t m = rng.uniform_int(0, M - 1);
+        engine.relocate(t, m);
+        core_of[t] = m;
+      } else {
+        engine.uncommit(t);
+        core_of[t] = kUnassigned;
+      }
+      const std::size_t probe_task = rng.uniform_int(0, ts.size() - 1);
+      expect_batched_matches_scalar(engine, probe_task, "workout");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchProbeProperty,
+    ::testing::Combine(::testing::Values(Level{1}, Level{2}, Level{4}),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8},
+                                         std::size_t{64})),
+    [](const ::testing::TestParamInfo<std::tuple<Level, std::size_t>>& tp) {
+      return "K" + std::to_string(std::get<0>(tp.param)) + "_M" +
+             std::to_string(std::get<1>(tp.param));
+    });
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -7,6 +7,13 @@
 // UtilMatrix copies, free fits()/probe_assignment() functions) before the
 // engine refactor; regenerate only if partitioning SEMANTICS intentionally
 // change, never to paper over a parity break.
+//
+// Probe-accounting note (batched-probe refactor): one batched all-cores
+// probe counts num_cores() probes, so schemes that used to early-exit a
+// scalar first-fit scan (FFD, Hybrid's FFD phase) now report more probes.
+// The golden probes= fields were regenerated under this rule after
+// verifying every assign=/ok=/failed= column was byte-identical to the
+// previous golden (partitions themselves are unchanged).
 #include <gtest/gtest.h>
 
 #include <cstdio>

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Vectorization sanity check for the batched probe kernel.
+#
+# The batched all-cores probe (src/mcs/analysis/batch_probe.cpp) gets its
+# speedup from the compiler auto-vectorizing the per-core "lane loops"
+# (each labeled `// lane loop: <name>` on the loop line).  This script
+# compiles that one TU with GCC's vectorizer report (-fopt-info-vec) and
+# asserts that every loop in the REQUIRED list below still vectorizes, so
+# a kernel edit or toolchain change that silently serializes the hot path
+# fails CI instead of just slowing the bench down.
+#
+# Loops NOT in the list carry genuine cross-lane serial dependencies (the
+# min/max policy fold, the monotone validity counter) or store through
+# type-mixed masks; they are expected to stay scalar and are not checked.
+#
+# Usage: tools/check_vectorization.sh [compiler]   (default: c++)
+set -eu
+
+cd "$(dirname "$0")/.."
+CXX="${1:-c++}"
+TU=src/mcs/analysis/batch_probe.cpp
+REPORT=$(mktemp)
+trap 'rm -f "$REPORT"' EXIT INT TERM
+
+# Same language/optimization surface as the Release CI build; the report
+# lists one "loop vectorized" note per vectorized loop with its line.
+"$CXX" -std=c++20 -O3 -DNDEBUG -Isrc -c "$TU" -o /dev/null \
+  -fopt-info-vec-optimized 2>"$REPORT"
+
+# Labels of the lane loops that must vectorize.  Line numbers are resolved
+# from the markers at check time, so editing the file does not stale them.
+REQUIRED="hrow
+lambda init
+lambda numerator
+theta
+mu/fold init
+Eq. (4) sum
+K == 1 utilization
+accept mask"
+
+status=0
+echo "$REQUIRED" | while IFS= read -r label; do
+  line=$(grep -n "lane loop: $label\$" "$TU" | head -1 | cut -d: -f1)
+  if [ -z "$line" ]; then
+    echo "FAIL: marker 'lane loop: $label' not found in $TU" >&2
+    exit 1
+  fi
+  if grep -q "^$TU:$line:.*loop vectorized" "$REPORT"; then
+    echo "ok: lane loop '$label' ($TU:$line) vectorized"
+  else
+    echo "FAIL: lane loop '$label' ($TU:$line) did NOT vectorize" >&2
+    echo "---- vectorizer notes for $TU ----" >&2
+    grep "^$TU" "$REPORT" >&2 || true
+    exit 1
+  fi
+done || status=1
+
+exit $status

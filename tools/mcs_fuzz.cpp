@@ -1,7 +1,7 @@
 // mcs_fuzz: seeded generate -> check -> shrink fuzzing of the library's
 // safety claims.
 //
-//   mcs_fuzz                               # all four targets, 30 s each
+//   mcs_fuzz                               # all five targets, 30 s each
 //   mcs_fuzz --target=soundness --budget-s 120
 //   mcs_fuzz --seed 7 --corpus-dir tests/corpus
 //   mcs_fuzz --replay tests/corpus/boundary_util_one.mcs
@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
     const mcs::util::Cli cli(
         argc, argv,
         {{"target",
-          "soundness|differential|io|engine-parity (default: all four)"},
+          "soundness|differential|io|engine-parity|probe-parity "
+          "(default: all five)"},
          {"budget-s", "wall-clock budget per target in seconds (default 30)"},
          {"seed", "base seed; findings reproduce from (seed, trial)"},
          {"max-trials", "stop after this many trials (0 = budget only)"},
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
       targets = {mcs::verify::FuzzTarget::kSoundness,
                  mcs::verify::FuzzTarget::kDifferential,
                  mcs::verify::FuzzTarget::kIo,
-                 mcs::verify::FuzzTarget::kEngineParity};
+                 mcs::verify::FuzzTarget::kEngineParity,
+                 mcs::verify::FuzzTarget::kProbeParity};
     }
 
     std::size_t total_findings = 0;

@@ -34,6 +34,7 @@
 
 #include "mcs/analysis/placement.hpp"
 #include "mcs/gen/taskset_generator.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/cli.hpp"
 #include "mcs/util/json.hpp"
 #include "mcs/util/table.hpp"
@@ -183,6 +184,26 @@ ProbeRun time_batched(analysis::PlacementEngine& engine,
   return best;
 }
 
+/// Average cost of one *disabled* ScopedSpan — the relaxed-atomic gate
+/// check probe_all_cores pays per call when tracing is off.  Best of
+/// `reps` over `iters` construct/destroy pairs.
+double time_disabled_span_ns(std::size_t iters, std::size_t reps) {
+  static constexpr obs::TraceSite kSite{"bench.disabled_span", "i"};
+  const obs::TraceEnabledGuard off(false);
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const obs::ScopedSpan span(kSite, i);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double ns = elapsed.count() * 1e9 / static_cast<double>(iters);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
 util::Json num(double value, int precision = 6) {
   std::ostringstream os;
   os.precision(precision);
@@ -284,9 +305,31 @@ int main(int argc, char** argv) {
         batched_total_s > 0.0 ? scalar_total_s / batched_total_s : 0.0;
     doc.set("aggregate_speedup", num(aggregate));
 
+    // Disabled-tracing overhead gate: probe_all_cores carries one ScopedSpan
+    // per call (kCores probes), so the relative cost of a disabled span is
+    // span_ns / (batched ns/probe * kCores).  The budget is 1%.
+    std::uint64_t total_probes = 0;
+    for (const util::Json& row : doc.at("sizes").items()) {
+      total_probes += row.at("probes").as_u64();
+    }
+    const double batched_ns_per_probe =
+        total_probes > 0
+            ? batched_total_s * 1e9 / static_cast<double>(total_probes)
+            : 0.0;
+    const double span_ns =
+        time_disabled_span_ns(quick ? 1'000'000 : 4'000'000, quick ? 2 : 5);
+    const double overhead_pct =
+        batched_ns_per_probe > 0.0
+            ? 100.0 * span_ns / (batched_ns_per_probe * kCores)
+            : 0.0;
+    doc.set("disabled_span_ns", num(span_ns));
+    doc.set("trace_overhead_pct", num(overhead_pct));
+
     table.print(std::cout);
     std::cout << "\naggregate speedup (total scalar s / total batched s): "
               << aggregate << "\n";
+    std::cout << "disabled span: " << span_ns << " ns ("
+              << overhead_pct << "% of a batched probe call)\n";
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_probe: cannot write " << out_path << "\n";
@@ -298,6 +341,13 @@ int main(int argc, char** argv) {
     if (aggregate < min_speedup) {
       std::cerr << "bench_probe: throughput regression: aggregate speedup "
                 << aggregate << " < required " << min_speedup << "\n";
+      return 1;
+    }
+    if (overhead_pct > 1.0) {
+      std::cerr << "bench_probe: disabled-tracing overhead " << overhead_pct
+                << "% exceeds the 1% budget (" << span_ns
+                << " ns per span vs " << batched_ns_per_probe * kCores
+                << " ns per batched call)\n";
       return 1;
     }
     return 0;

@@ -31,6 +31,7 @@
 #include "mcs/core/partition.hpp"
 #include "mcs/core/taskset.hpp"
 #include "mcs/gen/rng.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/sim/engine.hpp"
 #include "mcs/sim/scenario.hpp"
 #include "mcs/sim/trace.hpp"
@@ -156,6 +157,27 @@ util::Json num(double value, int precision = 6) {
   return util::Json::number_raw(os.str());
 }
 
+/// Average cost of one *disabled* ScopedSpan.  simulate() pays exactly
+/// 1 + kCores of these per run when tracing is off (the top-level span plus
+/// one gate sample per core kernel); everything per-event branches on a
+/// plain cached bool.  Best of `reps` over `iters` construct/destroy pairs.
+double time_disabled_span_ns(std::size_t iters, std::size_t reps) {
+  static constexpr obs::TraceSite kSite{"bench.disabled_span", "i"};
+  const obs::TraceEnabledGuard off(false);
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const obs::ScopedSpan span(kSite, i);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double ns = elapsed.count() * 1e9 / static_cast<double>(iters);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +218,7 @@ int main(int argc, char** argv) {
                        "fast ev/s", "ref us/hp", "fast us/hp", "speedup"});
     double ref_total_s = 0.0;
     double fast_total_s = 0.0;
+    double min_fast_s = 0.0;
 
     for (const std::size_t n : sizes) {
       const TaskSet ts = make_taskset(n);
@@ -239,6 +262,9 @@ int main(int argc, char** argv) {
           ref.seconds > 0.0 ? ref.seconds / fast.seconds : 0.0;
       ref_total_s += ref.seconds;
       fast_total_s += fast.seconds;
+      if (min_fast_s == 0.0 || fast.seconds < min_fast_s) {
+        min_fast_s = fast.seconds;
+      }
 
       table.begin_row();
       table.add_cell(n);
@@ -274,9 +300,22 @@ int main(int argc, char** argv) {
         fast_total_s > 0.0 ? ref_total_s / fast_total_s : 0.0;
     doc.set("aggregate_speedup", num(aggregate));
 
+    // Disabled-tracing overhead gate: one simulate() run costs 1 + kCores
+    // gate-checked spans; bound their cost against the *shortest* fast run
+    // (the worst-case ratio).  The budget is 1%.
+    const double span_ns =
+        time_disabled_span_ns(quick ? 1'000'000 : 4'000'000, quick ? 2 : 5);
+    const double gate_ns = static_cast<double>(1 + kCores) * span_ns;
+    const double overhead_pct =
+        min_fast_s > 0.0 ? 100.0 * gate_ns / (min_fast_s * 1e9) : 0.0;
+    doc.set("disabled_span_ns", num(span_ns));
+    doc.set("trace_overhead_pct", num(overhead_pct));
+
     table.print(std::cout);
     std::cout << "\naggregate speedup (total ref s / total fast s): "
               << aggregate << "\n";
+    std::cout << "disabled spans: " << gate_ns << " ns per simulate ("
+              << overhead_pct << "% of the shortest fast run)\n";
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_sim_engine: cannot write " << out_path << "\n";
@@ -289,6 +328,13 @@ int main(int argc, char** argv) {
       std::cerr << "bench_sim_engine: throughput regression: aggregate "
                 << "speedup " << aggregate << " < required " << min_speedup
                 << "\n";
+      return 1;
+    }
+    if (overhead_pct > 1.0) {
+      std::cerr << "bench_sim_engine: disabled-tracing overhead "
+                << overhead_pct << "% exceeds the 1% budget (" << gate_ns
+                << " ns of gate checks vs " << min_fast_s * 1e9
+                << " ns shortest fast run)\n";
       return 1;
     }
     return 0;

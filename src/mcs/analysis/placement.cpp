@@ -6,11 +6,28 @@
 
 #include "mcs/analysis/edfvd.hpp"
 #include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::analysis {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Trace sites: only the batched entry points carry spans (one gate check
+// amortized over num_cores() lanes); the scalar probes are too hot (tens
+// of ns) for even a disabled-gate branch to stay under the 1% overhead
+// budget, so they are covered by counters and the enclosing partitioner
+// spans instead.  Mutations are rare and become instants.
+constexpr obs::TraceSite kProbeAllSite{"analysis.probe_all_cores", "task",
+                                       "cores"};
+constexpr obs::TraceSite kFitsAllSite{"analysis.probe_fits_all", "task",
+                                      "cores"};
+constexpr obs::TraceSite kFitsBasicAllSite{"analysis.probe_fits_basic_all",
+                                           "task", "cores"};
+constexpr obs::TraceSite kCommitSite{"analysis.commit", "task", "core"};
+constexpr obs::TraceSite kUncommitSite{"analysis.uncommit", "task", "core"};
+constexpr obs::TraceSite kRelocateSite{"analysis.relocate", "task", "from",
+                                       "to"};
 
 // Registered once; increments are no-ops while metrics are disabled.
 obs::Counter& g_probes = obs::registry().counter("placement.probes");
@@ -102,6 +119,7 @@ void PlacementEngine::probe_all_cores(std::size_t task, ProbePolicy policy,
                                       std::span<ProbeResult> out) {
   const std::size_t cores = num_cores();
   assert(out.size() == cores && "probe_all_cores: out must span every core");
+  const obs::ScopedSpan span(kProbeAllSite, task, cores);
   // One batched call == num_cores() probes: the accounting of the scalar
   // all-cores scan it replaces.
   probes_ += cores;
@@ -125,6 +143,7 @@ void PlacementEngine::probe_fits_all(std::size_t task,
                                      std::span<unsigned char> out) {
   const std::size_t cores = num_cores();
   assert(out.size() == cores && "probe_fits_all: out must span every core");
+  const obs::ScopedSpan span(kFitsAllSite, task, cores);
   probes_ += cores;  // one batched call == num_cores() probes
   g_probes.add(cores);
   batch_fits(planes_, taskset()[task], batch_scratch_, batch_basic_.data(),
@@ -148,6 +167,7 @@ void PlacementEngine::probe_fits_basic_all(std::size_t task,
   const std::size_t cores = num_cores();
   assert(out.size() == cores &&
          "probe_fits_basic_all: out must span every core");
+  const obs::ScopedSpan span(kFitsBasicAllSite, task, cores);
   probes_ += cores;  // one batched call == num_cores() probes
   g_probes.add(cores);
   batch_fits_basic(planes_, taskset()[task], batch_scratch_, out.data());
@@ -155,6 +175,7 @@ void PlacementEngine::probe_fits_basic_all(std::size_t task,
 
 void PlacementEngine::commit(std::size_t task, std::size_t core) {
   g_commits.add();
+  obs::trace_instant(kCommitSite, task, core);
   partition_->assign(task, core);
   planes_.add(taskset()[task], core);
   assert_planes_match(core);
@@ -163,6 +184,7 @@ void PlacementEngine::commit(std::size_t task, std::size_t core) {
 void PlacementEngine::commit(std::size_t task, std::size_t core,
                              double new_util) {
   g_commits.add();
+  obs::trace_instant(kCommitSite, task, core);
   partition_->assign(task, core);
   planes_.add(taskset()[task], core);
   assert_planes_match(core);
@@ -172,6 +194,7 @@ void PlacementEngine::commit(std::size_t task, std::size_t core,
 void PlacementEngine::uncommit(std::size_t task) {
   g_uncommits.add();
   const std::size_t core = partition_->core_of(task);
+  obs::trace_instant(kUncommitSite, task, core);
   partition_->unassign(task);
   planes_.remove(taskset()[task], core);
   assert_planes_match(core);
@@ -179,6 +202,7 @@ void PlacementEngine::uncommit(std::size_t task) {
 
 void PlacementEngine::relocate(std::size_t task, std::size_t core) {
   const std::size_t from = partition_->core_of(task);
+  obs::trace_instant(kRelocateSite, task, from, core);
   partition_->unassign(task);
   partition_->assign(task, core);
   planes_.remove(taskset()[task], from);

@@ -183,4 +183,29 @@ std::string render_block(const Artifact& artifact, const std::string& metric) {
   return out;
 }
 
+std::string render_trace_block(const obs::TraceSummary& summary,
+                               const std::string& file_name) {
+  std::string out = "<!-- rendered by mcs_report from " + file_name;
+  if (!summary.source.empty()) out += ": source=" + summary.source;
+  out += " -->\n";
+  if (summary.spans.empty()) return out + "(no spans recorded)\n";
+  out +=
+      "| span | count | total ms | self ms | p50 self µs | p99 self µs |\n"
+      "|---|---|---|---|---|---|\n";
+  for (const obs::SpanStats& stats : summary.spans) {
+    out += "| " + stats.name;
+    out += " | " + std::to_string(stats.count);
+    out += " | " +
+           util::format_double(static_cast<double>(stats.total_ns) / 1e6, 3);
+    out += " | " +
+           util::format_double(static_cast<double>(stats.self_ns) / 1e6, 3);
+    out += " | " + util::format_double(
+                       static_cast<double>(stats.p50_self_ns) / 1e3, 1);
+    out += " | " + util::format_double(
+                       static_cast<double>(stats.p99_self_ns) / 1e3, 1);
+    out += " |\n";
+  }
+  return out;
+}
+
 }  // namespace mcs::exp

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mcs/exp/orchestrator.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::exp {
 
@@ -37,5 +38,15 @@ namespace mcs::exp {
 /// Throws std::runtime_error on an unknown metric.
 [[nodiscard]] std::string render_block(const Artifact& artifact,
                                        const std::string& metric);
+
+/// Renders the per-phase timing panel for a "trace:<name>" block from a
+/// committed trace summary (<artifacts>/<name>.trace_summary.json): a
+/// provenance comment naming the summary file and its recorded source,
+/// then a per-span-name count/total/self/p50/p99 self-time table.  The
+/// numbers are wall-clock, so they are frozen in the committed summary
+/// (regenerated only deliberately via mcs_trace --summary-json); rendering
+/// itself is byte-deterministic for a given summary file.
+[[nodiscard]] std::string render_trace_block(const obs::TraceSummary& summary,
+                                             const std::string& file_name);
 
 }  // namespace mcs::exp

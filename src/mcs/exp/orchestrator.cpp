@@ -7,11 +7,33 @@
 
 #include "mcs/exp/report.hpp"
 #include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/table.hpp"
 
 namespace mcs::exp {
 
 namespace {
+
+constexpr obs::TraceSite kPointSite{"exp.point", "index", "fingerprint"};
+
+/// The spec fingerprint as a span arg: the 16-hex-digit FNV-1a string,
+/// parsed back to its u64 (0 when malformed, which cannot happen for
+/// spec_fingerprint output).
+std::uint64_t fingerprint_arg(const std::string& fingerprint) noexcept {
+  std::uint64_t value = 0;
+  for (const char c : fingerprint) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
 
 std::string checkpoint_path_for(const SpecRunOptions& options,
                                 const SweepSpec& spec) {
@@ -94,12 +116,19 @@ SpecRunResult run_spec(const SweepSpec& spec, const SpecRunOptions& options) {
       PointCheckpoint point;
       point.index = i;
       {
+        const obs::ScopedSpan span(kPointSite, i,
+                                   fingerprint_arg(out.fingerprint));
         obs::MetricsEnabledGuard guard(options.collect_metrics);
         const obs::MetricsSnapshot before = obs::registry().snapshot();
         point.result =
             run_point(pt.params, pt.make_schemes(), run_options, pt.x);
-        point.counters =
-            obs::counter_deltas(before, obs::registry().snapshot());
+        const obs::MetricsSnapshot after = obs::registry().snapshot();
+        point.counters = obs::counter_deltas(before, after);
+        // Histogram values are deterministic per-trial quantities, so their
+        // percentiles merge into the counter map as "<name>.pNN" rows and
+        // stay checkpoint-safe (unlike wall-clock timers, which are never
+        // persisted).
+        point.counters.merge(obs::histogram_percentile_deltas(before, after));
       }
 
       writer.append(point);

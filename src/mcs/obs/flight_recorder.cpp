@@ -1,0 +1,37 @@
+#include "mcs/obs/flight_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "mcs/obs/trace.hpp"
+
+namespace mcs::obs {
+
+util::Json flight_record_json(const std::string& note) {
+  const util::Json doc = chrome_trace_json(collect_trace());
+  // Rebuild with the note first so a human opening the file sees why it
+  // exists before the event soup.
+  util::Json out = util::Json::object();
+  out.set("format", util::Json::string("mcs-trace/1"));
+  out.set("note", util::Json::string(note));
+  out.set("displayTimeUnit", util::Json::string("ns"));
+  out.set("traceEvents", doc.at("traceEvents"));
+  return out;
+}
+
+std::string dump_flight_record(const std::string& dir, const std::string& tag,
+                               const std::string& note) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (tag + ".flight.json");
+  std::ofstream out(path);
+  if (!out) return {};
+  out << flight_record_json(note).dump() << "\n";
+  if (!out) return {};
+  return path.string();
+}
+
+}  // namespace mcs::obs

@@ -1,0 +1,27 @@
+// Flight recorder: dumps the retained per-thread trace rings to disk as a
+// Chrome trace-event JSON file, for attaching a timeline of the last-N
+// events to a failure report (verify:: oracle/differential findings,
+// mcs_fuzz --replay).  The dump is the ring contents as-is — whatever the
+// ring retained when the failure surfaced — so callers enable tracing, run
+// the failing case, and dump immediately.
+#pragma once
+
+#include <string>
+
+#include "mcs/util/json.hpp"
+
+namespace mcs::obs {
+
+/// The current rings as a Chrome trace document with a top-level "note"
+/// (extra top-level keys are ignored by Perfetto/chrome://tracing).
+[[nodiscard]] util::Json flight_record_json(const std::string& note);
+
+/// Writes `<dir>/<tag>.flight.json` (creating `dir` if needed) and returns
+/// the written path, or "" when the directory or file cannot be written.
+/// Never throws: a flight dump decorates an existing failure and must not
+/// mask it.
+[[nodiscard]] std::string dump_flight_record(const std::string& dir,
+                                             const std::string& tag,
+                                             const std::string& note);
+
+}  // namespace mcs::obs

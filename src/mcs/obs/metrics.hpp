@@ -154,6 +154,12 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
 
+  /// Rank-based percentile estimate for q in [0, 1]: the upper bound of
+  /// the pow2 bucket containing the q-th ranked value, clamped to max().
+  /// Exact for p0/p100 of power-of-two-minus-one data, otherwise an upper
+  /// bound within 2x (the bucket width).  Returns 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
   void reset() noexcept;
 
  private:
@@ -162,7 +168,19 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// The q-th ranked value's bucket upper bound for a raw pow2 bucket-count
+/// array (the building block behind Histogram::percentile and
+/// histogram_percentile_deltas).  Returns 0 when all buckets are zero.
+[[nodiscard]] std::uint64_t percentile_from_buckets(
+    const std::array<std::uint64_t, Histogram::kBuckets>& buckets,
+    double q) noexcept;
+
 /// Point-in-time copy of every registered instrument.
+///
+/// Ordering contract: the maps are keyed lexicographically by instrument
+/// name (std::map), so iterating a snapshot — and everything rendered from
+/// one (reports, artifact counter blocks) — is deterministic and identical
+/// across platforms.  Pinned by ObsMetrics.SnapshotOrderIsLexicographic.
 struct MetricsSnapshot {
   struct TimerData {
     std::uint64_t count = 0;
@@ -172,6 +190,12 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    /// Raw bucket counts, so deltas between snapshots can re-derive the
+    /// distribution of values recorded in between.
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, TimerData> timers;
@@ -181,6 +205,14 @@ struct MetricsSnapshot {
 /// Counters that grew between two snapshots (nonzero deltas only; a counter
 /// registered after `before` counts from zero).
 [[nodiscard]] std::map<std::string, std::uint64_t> counter_deltas(
+    const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+/// Percentiles of the histogram values recorded *between* two snapshots,
+/// flattened to "<name>.p50" / ".p90" / ".p99" pseudo-counters (only for
+/// histograms whose count grew).  Histogram values are deterministic
+/// per-trial quantities (unlike timers), so these merge safely into
+/// checkpointed per-point counter maps.
+[[nodiscard]] std::map<std::string, std::uint64_t> histogram_percentile_deltas(
     const MetricsSnapshot& before, const MetricsSnapshot& after);
 
 /// Process-wide instrument registry.  Lookup by name registers on first

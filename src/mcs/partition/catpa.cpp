@@ -1,6 +1,7 @@
 #include "mcs/partition/catpa.hpp"
 
 #include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::partition {
 
@@ -17,6 +18,10 @@ obs::Counter& g_repair_success =
     obs::registry().counter("catpa.repair_success");
 obs::Counter& g_repair_relocations =
     obs::registry().counter("catpa.repair_relocations");
+
+constexpr obs::TraceSite kPlaceSite{"catpa.place", "tasks", "cores"};
+constexpr obs::TraceSite kRepairSite{"catpa.repair", "task", nullptr};
+constexpr obs::TraceSite kRebalanceSite{"catpa.rebalance", "task", nullptr};
 }  // namespace
 
 CaTpaPartitioner::CaTpaPartitioner(CaTpaOptions options)
@@ -48,6 +53,7 @@ namespace {
 bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
                 analysis::ProbePolicy policy,
                 std::vector<analysis::ProbeResult>& probes) {
+  const obs::ScopedSpan span(kRepairSite, task);
   const std::size_t cores = engine.num_cores();
   for (std::size_t dest = 0; dest < cores; ++dest) {
     // Candidate tasks to evict from `dest` (copy: we mutate the partition).
@@ -80,6 +86,7 @@ PlacementOutcome CaTpaPartitioner::run_on(
     analysis::PlacementEngine& engine) const {
   const TaskSet& ts = engine.taskset();
   const std::size_t num_cores = engine.num_cores();
+  const obs::ScopedSpan span(kPlaceSite, ts.size(), num_cores);
   const std::vector<std::size_t> order = options_.order_by_contribution
                                              ? order_by_contribution(ts)
                                              : order_by_max_utilization(ts);
@@ -94,7 +101,10 @@ PlacementOutcome CaTpaPartitioner::run_on(
     // balance, place the task on the least-utilized feasible core.
     const bool rebalance = options_.use_imbalance_control &&
                            engine.imbalance() >= options_.alpha;
-    if (rebalance) g_rebalance.add();
+    if (rebalance) {
+      g_rebalance.add();
+      obs::trace_instant(kRebalanceSite, t);
+    }
 
     // One batched all-cores probe, then reduce the result vector.
     // Selection key: current utilization when re-balancing (pick the

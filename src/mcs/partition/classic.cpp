@@ -1,6 +1,12 @@
 #include "mcs/partition/classic.hpp"
 
+#include "mcs/obs/trace.hpp"
+
 namespace mcs::partition {
+
+namespace {
+constexpr obs::TraceSite kPlaceSite{"classic.place", "tasks", "cores"};
+}  // namespace
 
 std::optional<std::size_t> allocate_with_rule(
     analysis::PlacementEngine& engine, std::span<const std::size_t> order,
@@ -36,6 +42,8 @@ std::optional<std::size_t> allocate_with_rule(
 
 PlacementOutcome ClassicPartitioner::run_on(
     analysis::PlacementEngine& engine) const {
+  const obs::ScopedSpan span(kPlaceSite, engine.taskset().size(),
+                             engine.num_cores());
   const std::vector<std::size_t> order =
       order_by_max_utilization(engine.taskset());
   PlacementOutcome outcome;

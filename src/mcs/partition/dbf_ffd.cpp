@@ -4,12 +4,18 @@
 #include <stdexcept>
 
 #include "mcs/core/contributions.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::partition {
+
+namespace {
+constexpr obs::TraceSite kPlaceSite{"dbf_ffd.place", "tasks", "cores"};
+}  // namespace
 
 PlacementOutcome DbfFfdPartitioner::run_on(
     analysis::PlacementEngine& engine) const {
   const TaskSet& ts = engine.taskset();
+  const obs::ScopedSpan span(kPlaceSite, ts.size(), engine.num_cores());
   if (ts.num_levels() != 2) {
     throw std::invalid_argument(
         "DbfFfdPartitioner: requires a dual-criticality task set");

@@ -4,10 +4,13 @@
 #include <stdexcept>
 
 #include "mcs/analysis/amc_rta.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::partition {
 
 namespace {
+
+constexpr obs::TraceSite kPlaceSite{"fp_amc.place", "tasks", "cores"};
 
 /// AMC-rtb feasibility of core `core` with `task_index` tentatively added,
 /// under the configured priority-assignment policy.
@@ -28,6 +31,7 @@ bool fits_amc(analysis::PlacementEngine& engine, std::size_t task_index,
 PlacementOutcome FpAmcPartitioner::run_on(
     analysis::PlacementEngine& engine) const {
   const TaskSet& ts = engine.taskset();
+  const obs::ScopedSpan span(kPlaceSite, ts.size(), engine.num_cores());
   if (ts.num_levels() != 2) {
     throw std::invalid_argument(
         "FpAmcPartitioner: requires a dual-criticality task set");

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include "mcs/obs/trace.hpp"
 #include "mcs/partition/classic.hpp"
 
 namespace mcs::partition {
 
+namespace {
+constexpr obs::TraceSite kPlaceSite{"hybrid.place", "tasks", "cores"};
+}  // namespace
+
 PlacementOutcome HybridPartitioner::run_on(
     analysis::PlacementEngine& engine) const {
   const TaskSet& ts = engine.taskset();
+  const obs::ScopedSpan span(kPlaceSite, ts.size(), engine.num_cores());
 
   std::vector<std::size_t> high;
   std::vector<std::size_t> low;

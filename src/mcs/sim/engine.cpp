@@ -9,6 +9,7 @@
 
 #include "mcs/gen/rng.hpp"
 #include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/sim/arrival_calendar.hpp"
 #include "mcs/sim/job_pool.hpp"
 #include "mcs/sim/ready_queue.hpp"
@@ -64,6 +65,18 @@ obs::Histogram& g_ref_ready_peak =
     obs::registry().histogram("sim.engine.reference.ready_peak");
 obs::Histogram& g_fast_ready_peak =
     obs::registry().histogram("sim.engine.fast.ready_peak");
+
+// Trace sites.  The per-core kernels sample the enable gate once per run
+// (CoreSimBase::trace_armed_) so per-iteration sites like the calendar
+// refill cost one predicted non-atomic branch while tracing is off.
+constexpr obs::TraceSite kSimulateSite{"sim.simulate", "cores", "tasks"};
+constexpr obs::TraceSite kRefRunSite{"sim.core_run.reference", "core",
+                                     "members"};
+constexpr obs::TraceSite kFastRunSite{"sim.core_run.fast", "core", "members"};
+constexpr obs::TraceSite kModeSwitchSite{"sim.mode_switch", "core",
+                                         "from_mode"};
+constexpr obs::TraceSite kCalendarRefillSite{"sim.calendar_refill", "core",
+                                             "due"};
 
 /// Per-core state both kernels share: the member list, the deadline policy,
 /// the fixed-priority rank table and the output sinks.  Centralizing the
@@ -227,6 +240,9 @@ class CoreSimBase {
   std::size_t last_ran_task_ = kNone;
   std::uint64_t last_ran_job_ = 0;
   std::size_t peak_ready_ = 0;
+  /// Trace gate sampled once per core run; per-iteration sites branch on
+  /// this plain bool instead of re-reading the atomic.
+  const bool trace_armed_ = obs::trace_enabled();
 };
 
 // ---------------------------------------------------------------------------
@@ -242,6 +258,9 @@ class ReferenceCoreSim : public CoreSimBase {
 
   CoreStats run(double horizon) {
     obs::ScopedTimer run_timer(g_ref_run_timer);
+    const obs::ScopedSpan run_span(kRefRunSite,
+                                   obs::ScopedSpan::Armed{trace_armed_},
+                                   env_.core, env_.members.size());
     while (t_ < horizon - kEps) {
       g_ref_loop_iters.add();
       if (flag_expired_deadlines()) {
@@ -468,6 +487,9 @@ class ReferenceCoreSim : public CoreSimBase {
   }
 
   void switch_mode() {
+    const obs::ScopedSpan span(kModeSwitchSite,
+                               obs::ScopedSpan::Armed{trace_armed_},
+                               env_.core, mode_);
     bool again = true;
     while (again && mode_ < env_.policy.num_levels()) {
       const Level old_mode = mode_;
@@ -552,6 +574,9 @@ class FastCoreSim : public CoreSimBase {
 
   CoreStats run(double horizon) {
     obs::ScopedTimer run_timer(g_fast_run_timer);
+    const obs::ScopedSpan run_span(kFastRunSite,
+                                   obs::ScopedSpan::Armed{trace_armed_},
+                                   env_.core, env_.members.size());
     while (t_ < horizon - kEps) {
       g_fast_loop_iters.add();
       if (flag_expired_deadlines()) {
@@ -647,6 +672,9 @@ class FastCoreSim : public CoreSimBase {
 
   void process_arrivals() {
     calendar_.collect_due(t_, kEps, due_scratch_);
+    if (trace_armed_ && !due_scratch_.empty()) {
+      obs::trace_instant(kCalendarRefillSite, env_.core, due_scratch_.size());
+    }
     for (const std::size_t i : due_scratch_) {
       while (calendar_.time_of(i) <= t_ + kEps) {
         const std::size_t task = env_.members[i];
@@ -736,6 +764,9 @@ class FastCoreSim : public CoreSimBase {
   }
 
   void switch_mode() {
+    const obs::ScopedSpan span(kModeSwitchSite,
+                               obs::ScopedSpan::Armed{trace_armed_},
+                               env_.core, mode_);
     bool again = true;
     while (again && mode_ < env_.policy.num_levels()) {
       const Level old_mode = mode_;
@@ -858,6 +889,8 @@ SimResult simulate_core(const Partition& partition, std::size_t core,
 SimResult simulate(const Partition& partition,
                    const ExecutionScenario& scenario, const SimConfig& config,
                    TraceSink* sink) {
+  const obs::ScopedSpan span(kSimulateSite, partition.num_cores(),
+                             partition.taskset().size());
   SimResult result;
   result.horizon = resolve_horizon(config, partition.taskset());
   result.tasks.assign(partition.taskset().size(), TaskSimStats{});

@@ -1,7 +1,10 @@
 #include "mcs/sim/trace.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <ostream>
+
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::sim {
 
@@ -42,6 +45,32 @@ void StreamTraceSink::on_event(const TraceEvent& event) {
     }
   }
   os << '\n';
+}
+
+void ObsTraceSink::on_event(const TraceEvent& event) {
+  // One static site per kind so record names stay static literals.
+  static constexpr obs::TraceSite kSites[] = {
+      {"sim.ev.release", "core", "task", "sim_time_milli"},
+      {"sim.ev.release_suppressed", "core", "task", "sim_time_milli"},
+      {"sim.ev.complete", "core", "task", "sim_time_milli"},
+      {"sim.ev.mode_switch", "core", "mode", "sim_time_milli"},
+      {"sim.ev.job_dropped", "core", "task", "sim_time_milli"},
+      {"sim.ev.deadline_miss", "core", "task", "sim_time_milli"},
+      {"sim.ev.idle_reset", "core", "mode", "sim_time_milli"},
+      {"sim.ev.execute", "core", "task", "sim_time_milli"},
+  };
+  const auto index = static_cast<std::size_t>(event.kind);
+  if (index >= std::size(kSites)) return;
+  const std::uint64_t sim_time_milli =
+      event.time > 0.0
+          ? static_cast<std::uint64_t>(std::llround(event.time * 1000.0))
+          : 0;
+  const bool mode_arg = event.kind == EventKind::kModeSwitch ||
+                        event.kind == EventKind::kIdleReset;
+  obs::trace_instant(kSites[index], event.core,
+                     mode_arg ? static_cast<std::uint64_t>(event.mode)
+                              : static_cast<std::uint64_t>(event.task),
+                     sim_time_milli);
 }
 
 }  // namespace mcs::sim

@@ -63,4 +63,15 @@ class StreamTraceSink final : public TraceSink {
   std::ostream* os_;
 };
 
+/// Bridges engine events into the obs:: span-trace timeline as instant
+/// events ("sim.ev.<kind>"), so one exported trace interleaves scheduling
+/// decisions with the engine/analysis cost spans.  Timestamps are
+/// wall-clock (when the engine emitted the event); the simulated time rides
+/// in the args, scaled to integer milli-units.  Emission respects the
+/// obs::trace_enabled() gate like every other trace site.
+class ObsTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override;
+};
+
 }  // namespace mcs::sim

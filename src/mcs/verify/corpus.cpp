@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "mcs/io/taskset_io.hpp"
+#include "mcs/obs/flight_recorder.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/partition/registry.hpp"
 #include "mcs/verify/oracle.hpp"
 
@@ -113,6 +115,22 @@ CheckResult replay(const CorpusCase& c) {
     return CheckResult{false, "soundness: " + verdict.describe()};
   }
   return {};
+}
+
+CheckResult attach_flight_record(CheckResult r, const std::string& dir,
+                                 const std::string& tag) {
+  if (r.ok) return r;
+  const std::string path = obs::dump_flight_record(dir, tag, r.detail);
+  if (!path.empty()) r.detail += "; flight recording: " + path;
+  return r;
+}
+
+CheckResult replay_with_flight_record(const CorpusCase& c,
+                                      const std::string& dump_dir,
+                                      const std::string& tag) {
+  const obs::TraceEnabledGuard guard(true);
+  obs::reset_trace();
+  return attach_flight_record(replay(c), dump_dir, tag);
 }
 
 }  // namespace mcs::verify

@@ -57,4 +57,19 @@ void save_corpus_case(const std::string& path, const CorpusCase& c);
 ///   * engine-parity -- check_engine_parity passes (fast kernel == reference).
 [[nodiscard]] CheckResult replay(const CorpusCase& c);
 
+/// On failure, dumps the current trace rings as a flight record
+/// (`<dir>/<tag>.flight.json`, obs/flight_recorder.hpp) and appends the
+/// dump path to the failure detail.  ok results — and failures whose dump
+/// could not be written — pass through unchanged.
+[[nodiscard]] CheckResult attach_flight_record(CheckResult r,
+                                               const std::string& dir,
+                                               const std::string& tag);
+
+/// replay() under span tracing: enables the trace gate, clears the rings,
+/// replays the case, and on failure attaches a flight-record dump so the
+/// failure message points at a timeline of what the replay actually did.
+[[nodiscard]] CheckResult replay_with_flight_record(const CorpusCase& c,
+                                                    const std::string& dump_dir,
+                                                    const std::string& tag);
+
 }  // namespace mcs::verify

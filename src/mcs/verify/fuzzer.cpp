@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "mcs/gen/taskset_generator.hpp"
+#include "mcs/obs/flight_recorder.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/partition/registry.hpp"
 #include "mcs/util/table.hpp"
 #include "mcs/util/thread_pool.hpp"
@@ -144,6 +146,22 @@ void save_finding(const FuzzOptions& options, Finding& finding) {
   finding.corpus_path = path.str();
 }
 
+/// Re-runs the failing trial with span tracing enabled and dumps the trace
+/// rings next to the corpus file, so every saved reproducer carries a
+/// timeline of the placement/sim activity that led into the failure.  Runs
+/// in the serial shrink phase, so the quiescence contract holds.
+void record_flight(const FuzzOptions& options, Finding& finding) {
+  if (options.corpus_dir.empty()) return;
+  const obs::TraceEnabledGuard guard(true);
+  obs::reset_trace();
+  (void)run_trial(options.target, options.seed, finding.trial);
+  std::ostringstream tag;
+  tag << target_name(options.target) << "_seed" << options.seed << "_trial"
+      << finding.trial;
+  finding.flight_path =
+      obs::dump_flight_record(options.corpus_dir, tag.str(), finding.detail);
+}
+
 }  // namespace
 
 FuzzTarget parse_target(const std::string& name) {
@@ -227,6 +245,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       Finding finding =
           shrink_finding(options, p, trial, std::move(failures[i]));
       save_finding(options, finding);
+      record_flight(options, finding);
       report.findings.push_back(std::move(finding));
     }
     next_trial += n;
@@ -262,6 +281,9 @@ std::string describe(const FuzzReport& report) {
     if (!f.corpus_path.empty()) {
       os << "\n  reproducer: " << f.corpus_path << " (replay with "
          << "mcs_fuzz --replay <file>)";
+    }
+    if (!f.flight_path.empty()) {
+      os << "\n  flight recording: " << f.flight_path;
     }
     os << "\n  reproduce: mcs_fuzz --target=" << target_name(report.target)
        << " --seed=" << report.seed << " --max-trials=" << f.trial + 1

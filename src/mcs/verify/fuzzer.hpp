@@ -70,6 +70,9 @@ struct Finding {
   std::size_t shrink_steps = 0;
   std::size_t shrink_attempts = 0;
   std::string corpus_path;        ///< where the reproducer was saved ("" if not)
+  /// Flight-recorder dump (trace of the failing trial re-run with spans on);
+  /// written next to the corpus file, "" when no corpus dir is configured.
+  std::string flight_path;
 };
 
 struct FuzzReport {

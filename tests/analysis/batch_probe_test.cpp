@@ -125,8 +125,13 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{4}, std::size_t{8},
                                          std::size_t{64})),
     [](const ::testing::TestParamInfo<std::tuple<Level, std::size_t>>& tp) {
-      return "K" + std::to_string(std::get<0>(tp.param)) + "_M" +
-             std::to_string(std::get<1>(tp.param));
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // misfires on literal-plus-temporary string concatenation at -O2.
+      std::string name = "K";
+      name += std::to_string(std::get<0>(tp.param));
+      name += "_M";
+      name += std::to_string(std::get<1>(tp.param));
+      return name;
     });
 
 }  // namespace

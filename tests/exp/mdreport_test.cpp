@@ -116,5 +116,36 @@ TEST(MdReportTest, ReplaceBlocksIsIdempotent) {
   EXPECT_EQ(replace_blocks(once, body), once);
 }
 
+TEST(MdReportTest, RenderTraceBlockGolden) {
+  obs::TraceSummary summary;
+  summary.source = "fig1.trace.json";
+  obs::SpanStats stats;
+  stats.name = "exp.point";
+  stats.count = 3;
+  stats.total_ns = 2'500'000;    // 2.5 ms
+  stats.self_ns = 1'250'000;     // 1.25 ms
+  stats.p50_self_ns = 400'000;   // 400 us
+  stats.p99_self_ns = 450'000;   // 450 us
+  summary.spans.push_back(stats);
+
+  const std::string out =
+      render_trace_block(summary, "fig1.trace_summary.json");
+  EXPECT_EQ(out,
+            "<!-- rendered by mcs_report from fig1.trace_summary.json: "
+            "source=fig1.trace.json -->\n"
+            "| span | count | total ms | self ms | p50 self µs | p99 self µs "
+            "|\n"
+            "|---|---|---|---|---|---|\n"
+            "| exp.point | 3 | 2.500 | 1.250 | 400.0 | 450.0 |\n");
+}
+
+TEST(MdReportTest, RenderTraceBlockEmptySummary) {
+  obs::TraceSummary summary;
+  const std::string out = render_trace_block(summary, "x.json");
+  EXPECT_EQ(out,
+            "<!-- rendered by mcs_report from x.json -->\n"
+            "(no spans recorded)\n");
+}
+
 }  // namespace
 }  // namespace mcs::exp

@@ -1,0 +1,87 @@
+#include "mcs/obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "mcs/obs/trace.hpp"
+#include "mcs/util/json.hpp"
+#include "mcs/verify/corpus.hpp"
+
+namespace mcs::obs {
+namespace {
+
+constexpr TraceSite kCrashSite{"test.before_failure", "step"};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::string fresh_dir(const char* leaf) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / leaf;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(FlightRecorder, DumpWritesParseableChromeJson) {
+  const TraceEnabledGuard on(true);
+  reset_trace();
+  { const ScopedSpan span(kCrashSite, 3); }
+
+  const std::string dir = fresh_dir("flight_dump");
+  const std::string path = dump_flight_record(dir, "crash", "oracle said no");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir + "/crash.flight.json");
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  const util::Json doc = util::Json::parse(slurp(path));
+  EXPECT_EQ(doc.at("format").as_string(), "mcs-trace/1");
+  EXPECT_EQ(doc.at("note").as_string(), "oracle said no");
+  bool found = false;
+  for (const util::Json& event : doc.at("traceEvents").items()) {
+    if (const util::Json* name = event.find("name");
+        name != nullptr && name->as_string() == "test.before_failure") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "span emitted before the dump is missing from it";
+}
+
+// The deliberately-injected failure: a failing CheckResult routed through
+// verify::attach_flight_record must produce a dump file and point its
+// detail at it — the diagnostic contract behind mcs_fuzz --replay.
+TEST(FlightRecorder, InjectedFailureProducesDump) {
+  const TraceEnabledGuard on(true);
+  reset_trace();
+  { const ScopedSpan span(kCrashSite, 1); }
+
+  const std::string dir = fresh_dir("flight_injected");
+  const verify::CheckResult failed = verify::attach_flight_record(
+      verify::CheckResult{false, "injected failure"}, dir, "inject");
+  EXPECT_FALSE(failed.ok);
+  const std::string expected_path = dir + "/inject.flight.json";
+  EXPECT_EQ(failed.detail,
+            "injected failure; flight recording: " + expected_path);
+  ASSERT_TRUE(std::filesystem::exists(expected_path));
+  const util::Json doc = util::Json::parse(slurp(expected_path));
+  EXPECT_EQ(doc.at("note").as_string(), "injected failure");
+}
+
+TEST(FlightRecorder, OkResultsPassThroughWithoutDump) {
+  const std::string dir = fresh_dir("flight_ok");
+  const verify::CheckResult ok =
+      verify::attach_flight_record(verify::CheckResult{}, dir, "clean");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_TRUE(ok.detail.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/clean.flight.json"));
+}
+
+}  // namespace
+}  // namespace mcs::obs

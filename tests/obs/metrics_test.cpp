@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "mcs/exp/montecarlo.hpp"
 #include "mcs/util/thread_pool.hpp"
 
@@ -147,6 +151,96 @@ TEST(RegistryTest, DeltaOfCounterRegisteredAfterBaseline) {
   const auto deltas = counter_deltas(before, registry().snapshot());
   ASSERT_EQ(deltas.count("test.registry.late"), 1u);
   EXPECT_EQ(deltas.at("test.registry.late"), 3u);
+}
+
+TEST(MetricsTest, HistogramPercentileFromPow2Buckets) {
+  MetricsEnabledGuard guard(true);
+  Histogram histogram;
+  EXPECT_EQ(histogram.percentile(0.5), 0u);  // empty
+
+  histogram.record(1);    // bucket 1 (upper bound 1)
+  histogram.record(2);    // bucket 2 (upper bound 3)
+  histogram.record(3);    // bucket 2
+  histogram.record(100);  // bucket 7 (upper bound 127)
+  // Rank-based: rank = max(1, ceil(q * 4)).
+  EXPECT_EQ(histogram.percentile(0.0), 1u);    // rank 1 -> bucket 1
+  EXPECT_EQ(histogram.percentile(0.50), 3u);   // rank 2 -> bucket 2
+  EXPECT_EQ(histogram.percentile(0.75), 3u);   // rank 3 -> bucket 2
+  // rank 4 lands in bucket 7 whose bound 127 clamps to the observed max.
+  EXPECT_EQ(histogram.percentile(0.99), 100u);
+  EXPECT_EQ(histogram.percentile(1.0), 100u);
+}
+
+TEST(MetricsTest, PercentileFromBucketsIsExactOnRawCounts) {
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  EXPECT_EQ(percentile_from_buckets(buckets, 0.5), 0u);
+  buckets[3] = 5;  // five values in [4, 7]
+  EXPECT_EQ(percentile_from_buckets(buckets, 0.5), 7u);
+  buckets[0] = 5;  // five zeros rank below them
+  EXPECT_EQ(percentile_from_buckets(buckets, 0.5), 0u);
+  EXPECT_EQ(percentile_from_buckets(buckets, 0.51), 7u);
+  // Out-of-range q clamps.
+  EXPECT_EQ(percentile_from_buckets(buckets, -1.0), 0u);
+  EXPECT_EQ(percentile_from_buckets(buckets, 2.0), 7u);
+}
+
+TEST(MetricsTest, SnapshotCarriesHistogramPercentiles) {
+  MetricsEnabledGuard guard(true);
+  Histogram& histogram = registry().histogram("test.registry.pctl");
+  histogram.reset();
+  histogram.record(1);
+  histogram.record(6);
+  const MetricsSnapshot snap = registry().snapshot();
+  const auto& data = snap.histograms.at("test.registry.pctl");
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_EQ(data.max, 6u);
+  EXPECT_EQ(data.p50, 1u);  // rank 1 -> bucket 1
+  EXPECT_EQ(data.p99, 6u);  // rank 2 -> bucket 3, clamped to max
+  EXPECT_EQ(data.buckets[1], 1u);
+  EXPECT_EQ(data.buckets[3], 1u);
+}
+
+TEST(RegistryTest, HistogramPercentileDeltasIgnoreHistory) {
+  MetricsEnabledGuard guard(true);
+  Histogram& histogram = registry().histogram("test.registry.hpd");
+  histogram.reset();
+  histogram.record(1000);  // pre-baseline noise the deltas must not see
+  const MetricsSnapshot before = registry().snapshot();
+
+  histogram.record(1);
+  histogram.record(1);
+  histogram.record(1);
+  histogram.record(8);  // bucket 4 (upper bound 15)
+  const MetricsSnapshot after = registry().snapshot();
+
+  const auto deltas = histogram_percentile_deltas(before, after);
+  ASSERT_EQ(deltas.count("test.registry.hpd.p50"), 1u);
+  EXPECT_EQ(deltas.at("test.registry.hpd.p50"), 1u);   // rank 2 of 4
+  EXPECT_EQ(deltas.at("test.registry.hpd.p90"), 15u);  // rank 4
+  EXPECT_EQ(deltas.at("test.registry.hpd.p99"), 15u);
+
+  // A histogram that did not grow contributes nothing.
+  const auto idle = histogram_percentile_deltas(after, after);
+  EXPECT_EQ(idle.count("test.registry.hpd.p50"), 0u);
+}
+
+TEST(RegistryTest, SnapshotOrderIsLexicographic) {
+  // Registration order is deliberately shuffled; the snapshot's iteration
+  // order (and therefore every rendered counters panel and artifact block)
+  // must be lexicographic regardless.  This pins the documented contract on
+  // MetricsSnapshot.
+  registry().counter("test.order.zz");
+  registry().counter("test.order.aa");
+  registry().counter("test.order.mm");
+  const MetricsSnapshot snap = registry().snapshot();
+  std::vector<std::string> ours;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("test.order.", 0) == 0) ours.push_back(name);
+  }
+  const std::vector<std::string> expected = {
+      "test.order.aa", "test.order.mm", "test.order.zz"};
+  EXPECT_EQ(ours, expected);
+  EXPECT_TRUE(std::is_sorted(ours.begin(), ours.end()));
 }
 
 TEST(RegistryTest, InstrumentedHotPathsPopulateKnownCounters) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh --quick bench JSON against the
+committed baselines.
+
+Usage:
+    tools/check_bench_regression.py [--tolerance 0.25] \
+        BENCH_sim.json:build/BENCH_sim_ci.json \
+        BENCH_probe.json:build/BENCH_probe_ci.json
+
+Each positional argument is a baseline:fresh pair of bench JSON files (as
+written by bench_sim_engine / bench_probe --out).  Only the dimensionless
+speedup ratios are compared -- the aggregate and the per-size entries --
+because absolute ns/op numbers are machine-dependent while fast-vs-reference
+(or batched-vs-scalar) ratios on the same machine are not.  A fresh ratio may
+fall below its committed baseline by at most --tolerance (fractional; the
+default 0.25 absorbs --quick jitter on shared CI runners).  Speedups above
+baseline never fail.
+
+Exit status: 0 when every ratio is within tolerance, 1 on regression, 2 on
+unreadable/mismatched inputs.  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_bench_regression: cannot load {path}: {e}")
+
+
+def ratios(doc, path):
+    """Extracts {label: speedup} from one bench JSON document."""
+    out = {}
+    try:
+        out["aggregate"] = float(doc["aggregate_speedup"])
+        for size in doc["sizes"]:
+            out[f"tasks={size['tasks']}"] = float(size["speedup"])
+    except (KeyError, TypeError) as e:
+        sys.exit(f"check_bench_regression: {path} is not a bench JSON ({e})")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when fresh bench speedups regress vs committed "
+        "baselines")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop below baseline (default 0.25)")
+    parser.add_argument(
+        "pairs", nargs="+", metavar="BASELINE:FRESH",
+        help="baseline and fresh bench JSON paths, colon-separated")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("check_bench_regression: --tolerance must be in [0, 1)")
+
+    rows = []
+    failed = False
+    for pair in args.pairs:
+        baseline_path, sep, fresh_path = pair.partition(":")
+        if not sep or not fresh_path:
+            sys.exit(f"check_bench_regression: malformed pair '{pair}' "
+                     "(expected BASELINE:FRESH)")
+        baseline_doc = load(baseline_path)
+        fresh_doc = load(fresh_path)
+        bench = baseline_doc.get("bench", baseline_path)
+        if fresh_doc.get("bench") != baseline_doc.get("bench"):
+            sys.exit(f"check_bench_regression: {fresh_path} is "
+                     f"'{fresh_doc.get('bench')}' but {baseline_path} is "
+                     f"'{baseline_doc.get('bench')}'")
+        base = ratios(baseline_doc, baseline_path)
+        fresh = ratios(fresh_doc, fresh_path)
+        for label, base_speedup in sorted(base.items()):
+            if label not in fresh:
+                sys.exit(f"check_bench_regression: {fresh_path} lacks "
+                         f"'{label}' present in {baseline_path}")
+            floor = base_speedup * (1.0 - args.tolerance)
+            ok = fresh[label] >= floor
+            failed = failed or not ok
+            rows.append((bench, label, base_speedup, fresh[label], floor,
+                         "ok" if ok else "REGRESSED"))
+
+    width = max(len(r[0]) for r in rows)
+    lwidth = max(len(r[1]) for r in rows)
+    print(f"{'bench':{width}}  {'ratio':{lwidth}}  {'baseline':>8}  "
+          f"{'fresh':>8}  {'floor':>8}  verdict")
+    for bench, label, base_speedup, fresh_speedup, floor, verdict in rows:
+        print(f"{bench:{width}}  {label:{lwidth}}  {base_speedup:8.3f}  "
+              f"{fresh_speedup:8.3f}  {floor:8.3f}  {verdict}")
+    if failed:
+        print(f"\ncheck_bench_regression: speedup regressed beyond "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print(f"\nall speedups within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

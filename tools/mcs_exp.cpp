@@ -13,8 +13,19 @@
 // <out>/<spec>.checkpoint.jsonl behind; re-running the same command resumes
 // from it and produces byte-identical artifacts.  tools/mcs_report renders
 // the committed docs from these artifacts.
+//
+// --trace <path> enables span tracing for the whole run and exports one
+// Chrome trace-event JSON (Perfetto-loadable) covering every layer:
+// exp.point spans from the sweeps, analysis/partitioner spans from the
+// placement work, and — because sweep points only run partitioning — a
+// short post-sweep "trace probe" that partitions and simulates one
+// workload so the engine spans and scheduling instants appear on the same
+// timeline.
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "mcs/mcs.hpp"
 
@@ -36,6 +47,37 @@ std::vector<std::string> parse_spec_list(const std::string& arg) {
   return names;
 }
 
+/// Emits sim-layer spans into the trace: generates workloads from the
+/// spec's first point, partitions them, and simulates the first feasible
+/// partition over one hyperperiod with the ObsTraceSink bridge attached.
+void run_trace_probe(const mcs::exp::SweepSpec& spec, double alpha,
+                     std::uint64_t seed) {
+  using namespace mcs;
+  static constexpr obs::TraceSite kProbeSite{"exp.trace_probe", "trial"};
+  const exp::Sweep sweep = exp::to_sweep(spec, alpha);
+  if (sweep.points.empty()) return;
+  const exp::SweepPoint& pt = sweep.points.front();
+  const partition::PartitionerList schemes =
+      pt.make_schemes ? pt.make_schemes() : partition::paper_schemes(alpha);
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    const obs::ScopedSpan span(kProbeSite, trial);
+    const TaskSet ts = gen::generate_trial(pt.params, seed, trial);
+    for (const auto& scheme : schemes) {
+      const partition::PartitionResult result =
+          scheme->run(ts, pt.params.num_cores);
+      if (!result.success) continue;
+      sim::ObsTraceSink sink;
+      sim::SimConfig cfg;
+      cfg.use_hyperperiod_horizon = true;
+      const sim::RandomScenario scenario(gen::derive_seed(seed, trial), 0.1);
+      (void)sim::simulate(result.partition, scenario, cfg, &sink);
+      return;  // one simulated workload is enough for the timeline
+    }
+  }
+  std::cerr << "mcs_exp: trace probe found no feasible partition in 32 "
+               "trials; the trace has no sim-layer spans\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +96,9 @@ int main(int argc, char** argv) {
        {"no-resume", "ignore existing checkpoints; start fresh"},
        {"no-metrics", "skip observability counter capture"},
        {"stop-after", "stop after N new points (interruption testing)"},
+       {"trace",
+        "enable span tracing and export a Chrome/Perfetto trace to this "
+        "path"},
        {"quiet", "suppress the console panels"}});
   if (cli.help_requested()) {
     std::cout << cli.usage("mcs_exp");
@@ -88,6 +133,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::optional<std::string> trace_path = cli.get("trace");
+  std::optional<obs::TraceEnabledGuard> trace_guard;
+  if (trace_path) {
+    obs::reset_trace();
+    trace_guard.emplace(true);
+  }
+  const exp::SweepSpec* traced_spec = nullptr;
+
   for (const std::string& name : names) {
     const exp::SweepSpec* spec = exp::find_spec(name);
     if (spec == nullptr) {
@@ -95,6 +148,7 @@ int main(int argc, char** argv) {
                 << exp::spec_names() << ")\n";
       return 1;
     }
+    if (traced_spec == nullptr) traced_spec = spec;
 
     exp::SpecRunOptions run_options = options;
     run_options.progress = [&](std::size_t done, std::size_t total) {
@@ -119,6 +173,27 @@ int main(int argc, char** argv) {
     }
     std::cerr << "[" << spec->name << "] artifacts: " << run.json_path << ", "
               << run.csv_path << '\n';
+  }
+
+  if (trace_path) {
+    if (traced_spec != nullptr) {
+      // The probe floods its ring with thousands of per-event sim instants;
+      // running it on its own thread gives it its own ring (and its own
+      // Perfetto track) instead of wrapping the main ring and evicting the
+      // sweep's exp/analysis spans.  Joined before collection, so the
+      // quiescence contract holds.
+      std::thread probe([&] {
+        run_trace_probe(*traced_spec, options.alpha, options.seed);
+      });
+      probe.join();
+    }
+    std::ofstream out(*trace_path);
+    if (!out) {
+      std::cerr << "mcs_exp: cannot write trace " << *trace_path << '\n';
+      return 1;
+    }
+    out << obs::chrome_trace_json(obs::collect_trace()).dump() << '\n';
+    std::cerr << "mcs_exp: wrote trace " << *trace_path << '\n';
   }
   return 0;
 }

@@ -7,9 +7,13 @@
 //   mcs_fuzz --replay tests/corpus/boundary_util_one.mcs
 //
 // Every finding prints a reproduction command (same seed + trial cap) and,
-// with --corpus-dir, a shrunk reproducer file.  Exit status is nonzero when
-// any target produced a finding or any replayed case failed.
+// with --corpus-dir, a shrunk reproducer file.  Replays run under span
+// tracing: a failing replay dumps a flight record into --dump-dir and the
+// FAIL line names the dump, so a regression comes with its own timeline.
+// Exit status is nonzero when any target produced a finding or any replayed
+// case failed.
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,12 +24,15 @@
 
 namespace {
 
-int replay_files(const std::vector<std::string>& paths) {
+int replay_files(const std::vector<std::string>& paths,
+                 const std::string& dump_dir) {
   int failures = 0;
   for (const std::string& path : paths) {
     try {
       const mcs::verify::CorpusCase c = mcs::verify::load_corpus_case(path);
-      const mcs::verify::CheckResult r = mcs::verify::replay(c);
+      const std::string tag = std::filesystem::path(path).stem().string();
+      const mcs::verify::CheckResult r =
+          mcs::verify::replay_with_flight_record(c, dump_dir, tag);
       if (r.ok) {
         std::cout << "PASS " << path << " (target=" << c.meta.target << ")\n";
       } else {
@@ -55,13 +62,18 @@ int main(int argc, char** argv) {
          {"max-findings", "stop a target after this many findings (default 4)"},
          {"threads", "worker threads (0 = hardware default)"},
          {"corpus-dir", "save shrunk reproducers into this directory"},
-         {"replay", "replay a corpus file instead of fuzzing"}});
+         {"replay", "replay a corpus file instead of fuzzing"},
+         {"dump-dir",
+          "directory for flight-recorder dumps on replay failure "
+          "(default: flight)"}});
     if (cli.help_requested()) {
       std::cout << cli.usage("mcs_fuzz");
       return 0;
     }
     if (const auto path = cli.get("replay")) {
-      return replay_files({*path}) == 0 ? 0 : 1;
+      const std::string dump_dir =
+          cli.get_or("dump-dir", std::string("flight"));
+      return replay_files({*path}, dump_dir) == 0 ? 0 : 1;
     }
 
     std::vector<mcs::verify::FuzzTarget> targets;

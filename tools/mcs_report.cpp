@@ -63,10 +63,32 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    // Load every referenced artifact once.
+    // Load every referenced artifact (and trace summary) once.  Blocks
+    // named "trace:<name>" render from <artifacts>/<name>.trace_summary.json
+    // instead of a sweep artifact.
     std::map<std::string, exp::Artifact> artifacts;
+    std::map<std::string, obs::TraceSummary> summaries;
+    std::map<std::string, std::string> summary_files;
     for (const std::string& block : blocks) {
       const auto [spec, metric] = split_block_name(block);
+      if (spec == "trace") {
+        if (summaries.count(metric) != 0) continue;
+        const std::string file = metric + ".trace_summary.json";
+        const std::string path = artifacts_dir + "/" + file;
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "mcs_report: block '" << block
+                    << "' needs missing trace summary " << path
+                    << " (run mcs_trace --summary-json)\n";
+          return 2;
+        }
+        const std::string text{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+        summaries.emplace(metric,
+                          obs::parse_trace_summary(util::Json::parse(text)));
+        summary_files.emplace(metric, file);
+        continue;
+      }
       if (artifacts.count(spec) != 0) continue;
       const std::string path = artifacts_dir + "/" + spec + ".json";
       std::optional<exp::Artifact> artifact = exp::load_artifact(path);
@@ -82,6 +104,10 @@ int main(int argc, char** argv) {
     const std::string rendered =
         exp::replace_blocks(doc, [&](const std::string& block) {
           const auto [spec, metric] = split_block_name(block);
+          if (spec == "trace") {
+            return exp::render_trace_block(summaries.at(metric),
+                                           summary_files.at(metric));
+          }
           return exp::render_block(artifacts.at(spec), metric);
         });
 

@@ -1,0 +1,150 @@
+// Trace digester: summarizes a Chrome trace-event JSON file (as exported
+// by mcs_exp --trace or an obs::flight dump) into a per-span-name table of
+// count, total time and p50/p99 self time.
+//
+//   $ mcs_trace --in artifacts/fig1.trace.json
+//   $ mcs_trace --in fig1.trace.json --summary-json artifacts/fig1.trace_summary.json
+//   $ mcs_trace --in fig1.trace.json --export-chrome clean.json
+//   $ mcs_trace --in fig1.trace.json --require catpa.place,sim.simulate
+//
+// --require fails (exit 1) unless every named event appears in the trace —
+// the CI trace-smoke job uses it to prove all instrumented layers emitted.
+// --export-chrome rewrites the input as a minimal {"traceEvents":[...]}
+// document (e.g. to strip a flight dump's note for sharing).
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcs/mcs.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::istringstream in(arg);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+  try {
+    const util::Cli cli(
+        argc, argv,
+        {{"in", "Chrome trace-event JSON file to digest (required)"},
+         {"top", "print only the N most self-time-heavy spans (default: all)"},
+         {"require",
+          "comma list of event names that must appear; exit 1 otherwise"},
+         {"summary-json", "write the summary as JSON to this path"},
+         {"export-chrome",
+          "rewrite the events as a plain {\"traceEvents\":[...]} file"},
+         {"source",
+          "provenance string recorded in the summary (default: --in path)"},
+         {"quiet", "suppress the console table"}});
+    if (cli.help_requested()) {
+      std::cout << cli.usage("mcs_trace");
+      return 0;
+    }
+    const auto in_path = cli.get("in");
+    if (!in_path) {
+      std::cerr << "mcs_trace: --in <trace.json> is required\n";
+      return 2;
+    }
+
+    std::ifstream in(*in_path);
+    if (!in) {
+      std::cerr << "mcs_trace: cannot read " << *in_path << '\n';
+      return 2;
+    }
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    const util::Json doc = util::Json::parse(text);
+    const util::Json* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::cerr << "mcs_trace: " << *in_path << " has no traceEvents array\n";
+      return 2;
+    }
+
+    if (const auto require = cli.get("require")) {
+      std::set<std::string> present;
+      for (const util::Json& event : events->items()) {
+        if (const util::Json* name = event.find("name"); name != nullptr) {
+          present.insert(name->as_string());
+        }
+      }
+      std::vector<std::string> missing;
+      for (const std::string& name : split_csv(*require)) {
+        if (present.count(name) == 0) missing.push_back(name);
+      }
+      if (!missing.empty()) {
+        std::cerr << "mcs_trace: required event name(s) absent from "
+                  << *in_path << ":";
+        for (const std::string& name : missing) std::cerr << ' ' << name;
+        std::cerr << '\n';
+        return 1;
+      }
+    }
+
+    const std::string source = cli.get_or("source", *in_path);
+    const obs::TraceSummary summary = obs::summarize_chrome_trace(doc, source);
+
+    if (!cli.has("quiet")) {
+      util::Table table({"span", "count", "total ms", "self ms",
+                         "p50 self us", "p99 self us"});
+      const std::size_t top = static_cast<std::size_t>(
+          cli.get_or("top", std::uint64_t{0}));
+      std::size_t shown = 0;
+      for (const obs::SpanStats& stats : summary.spans) {
+        if (top != 0 && shown >= top) break;
+        table.begin_row();
+        table.add_cell(stats.name);
+        table.add_cell(static_cast<std::size_t>(stats.count));
+        table.add_cell(static_cast<double>(stats.total_ns) / 1e6, 3);
+        table.add_cell(static_cast<double>(stats.self_ns) / 1e6, 3);
+        table.add_cell(static_cast<double>(stats.p50_self_ns) / 1e3, 1);
+        table.add_cell(static_cast<double>(stats.p99_self_ns) / 1e3, 1);
+        ++shown;
+      }
+      table.print(std::cout);
+      if (top != 0 && summary.spans.size() > top) {
+        std::cout << "(" << summary.spans.size() - top
+                  << " more span name(s) below --top cutoff)\n";
+      }
+    }
+
+    if (const auto out_path = cli.get("summary-json")) {
+      std::ofstream out(*out_path);
+      if (!out) {
+        std::cerr << "mcs_trace: cannot write " << *out_path << '\n';
+        return 2;
+      }
+      out << obs::trace_summary_json(summary).dump() << '\n';
+      std::cerr << "mcs_trace: wrote summary " << *out_path << '\n';
+    }
+
+    if (const auto out_path = cli.get("export-chrome")) {
+      std::ofstream out(*out_path);
+      if (!out) {
+        std::cerr << "mcs_trace: cannot write " << *out_path << '\n';
+        return 2;
+      }
+      util::Json clean = util::Json::object();
+      clean.set("traceEvents", *events);
+      out << clean.dump() << '\n';
+      std::cerr << "mcs_trace: wrote " << *out_path << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mcs_trace: " << e.what() << '\n';
+    return 2;
+  }
+}

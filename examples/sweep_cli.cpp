@@ -16,7 +16,10 @@ int main(int argc, char** argv) {
        {"point", "run a single point instead of a figure sweep"},
        {"trials", "task sets per data point (default 2000; paper: 50000)"},
        {"seed", "base RNG seed (default 1)"},
-       {"threads", "worker threads (default: hardware concurrency)"},
+       {"threads", "worker threads per point (default: hardware concurrency)"},
+       {"jobs",
+        "run N sweep points concurrently (default 1; clamped to hardware "
+        "concurrency; results are bit-identical for any N)"},
        {"csv", "also write results to this CSV file"},
        {"cores", "M for --point (default 8)"},
        {"levels", "K for --point (default 4)"},
@@ -76,11 +79,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::size_t jobs = 1;
+  try {
+    jobs = svc::resolve_jobs(cli.get_or("jobs", std::uint64_t{1}));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "sweep_cli: " << e.what() << '\n';
+    return 1;
+  }
+
+  const auto progress = [](std::size_t done, std::size_t total) {
+    std::cerr << "point " << done << "/" << total << " done\n";
+  };
   const exp::Sweep sweep = to_sweep(*spec, alpha);
   const exp::SweepResult result =
-      run_sweep(sweep, options, [](std::size_t done, std::size_t total) {
-        std::cerr << "point " << done << "/" << total << " done\n";
-      });
+      jobs > 1 ? svc::run_sweep_parallel(sweep, options, jobs, progress)
+               : run_sweep(sweep, options, progress);
   print_figure(std::cout, result, spec->title);
   if (const auto csv = cli.get("csv")) {
     write_csv(*csv, result);

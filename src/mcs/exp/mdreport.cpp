@@ -208,4 +208,43 @@ std::string render_trace_block(const obs::TraceSummary& summary,
   return out;
 }
 
+std::string render_serve_block(const util::Json& bench,
+                               const std::string& file_name) {
+  const util::Json* kind = bench.find("bench");
+  if (kind == nullptr || kind->as_string() != "mcs_serve") {
+    throw std::runtime_error("serve block: " + file_name +
+                             " is not an mcs_serve bench document");
+  }
+  std::string out = "<!-- rendered by mcs_report from " + file_name +
+                    ": scheme=" + bench.at("scheme").as_string() +
+                    " cores=" + std::to_string(bench.at("cores").as_u64()) +
+                    " workers=" + std::to_string(bench.at("workers").as_u64()) +
+                    " -->\n";
+  out +=
+      "| N | requests | cold p50 µs | cold p99 µs | warm p50 µs | "
+      "warm p99 µs | warm req/s | cache speedup |\n"
+      "|---|---|---|---|---|---|---|---|\n";
+  for (const util::Json& size : bench.at("sizes").items()) {
+    out += "| " + std::to_string(size.at("tasks").as_u64());
+    out += " | " + std::to_string(size.at("requests").as_u64());
+    out += " | " + util::format_double(size.at("cold").at("p50_us").as_double(), 1);
+    out += " | " + util::format_double(size.at("cold").at("p99_us").as_double(), 1);
+    out += " | " + util::format_double(size.at("warm").at("p50_us").as_double(), 1);
+    out += " | " + util::format_double(size.at("warm").at("p99_us").as_double(), 1);
+    out += " | " +
+           util::format_double(
+               size.at("warm").at("requests_per_sec").as_double(), 0);
+    out += " | " + util::format_double(size.at("speedup").as_double(), 2);
+    out += " |\n";
+  }
+  out += "\nAggregate cache speedup **" +
+         util::format_double(bench.at("aggregate_speedup").as_double(), 2) +
+         "×** over " + std::to_string(bench.at("requests").as_u64()) +
+         " requests (" +
+         util::format_double(bench.at("requests_per_sec").as_double(), 0) +
+         " req/s closed-loop; speedups are server-side cold/warm handling-"
+         "time ratios).\n";
+  return out;
+}
+
 }  // namespace mcs::exp

@@ -17,6 +17,7 @@
 
 #include "mcs/exp/orchestrator.hpp"
 #include "mcs/obs/trace.hpp"
+#include "mcs/util/json.hpp"
 
 namespace mcs::exp {
 
@@ -47,6 +48,17 @@ namespace mcs::exp {
 /// (regenerated only deliberately via mcs_trace --summary-json); rendering
 /// itself is byte-deterministic for a given summary file.
 [[nodiscard]] std::string render_trace_block(const obs::TraceSummary& summary,
+                                             const std::string& file_name);
+
+/// Renders the mcs_serve latency/throughput panel for a "serve:<stem>"
+/// block from a committed <stem>.json bench document (mcs_serve --selftest
+/// --out): a provenance comment, a per-task-set-size table of cold/warm
+/// client latency percentiles, warm throughput and the server-side cache
+/// speedup, and an aggregate footer.  Like trace blocks, the wall-clock
+/// numbers are frozen in the committed JSON; rendering is byte-
+/// deterministic for a given file.  Throws std::runtime_error when the
+/// document is not an mcs_serve bench.
+[[nodiscard]] std::string render_serve_block(const util::Json& bench,
                                              const std::string& file_name);
 
 }  // namespace mcs::exp

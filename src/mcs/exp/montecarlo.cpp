@@ -1,7 +1,5 @@
 #include "mcs/exp/montecarlo.hpp"
 
-#include <mutex>
-
 #include "mcs/analysis/placement.hpp"
 #include "mcs/util/thread_pool.hpp"
 
@@ -17,16 +15,23 @@ PointResult run_point(const gen::GenParams& params,
     point.schemes[s].scheme = schemes[s]->name();
   }
 
-  // Per-chunk partial aggregates merged under a lock at chunk end; the trial
-  // work itself is lock-free.
-  std::mutex merge_mutex;
+  // Each chunk writes its partial aggregates into its own pre-sized slot;
+  // the join below merges them in chunk index order.  Welford::merge is not
+  // order-insensitive at the bit level, so merging in completion order
+  // would make the result depend on thread scheduling — slot-then-ordered-
+  // merge is what makes run_point a pure function of (params, schemes,
+  // trials, seed) for *any* thread count, which the checkpoint layer and
+  // the parallel sweep executor (svc::) both rely on.
   constexpr std::uint64_t kChunk = 64;
   const std::uint64_t chunks = (options.trials + kChunk - 1) / kChunk;
+  std::vector<std::vector<SchemeAggregate>> partials(
+      static_cast<std::size_t>(chunks));
 
   util::parallel_for(
       static_cast<std::size_t>(chunks),
       [&](std::size_t chunk) {
-        std::vector<SchemeAggregate> local(schemes.size());
+        std::vector<SchemeAggregate>& local = partials[chunk];
+        local.resize(schemes.size());
         // One engine per chunk: partition, scratch matrices, utilization
         // caches, the SoA level-utilization planes and the batched-probe
         // scratch are all recycled across every trial x scheme of the chunk
@@ -54,18 +59,19 @@ PointResult run_point(const gen::GenParams& params,
             agg.imbalance.add(m.imbalance);
           }
         }
-        const std::lock_guard lock(merge_mutex);
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-          point.schemes[s].trials += local[s].trials;
-          point.schemes[s].schedulable += local[s].schedulable;
-          point.schemes[s].u_sys.merge(local[s].u_sys);
-          point.schemes[s].u_avg.merge(local[s].u_avg);
-          point.schemes[s].imbalance.merge(local[s].imbalance);
-          point.schemes[s].probes.merge(local[s].probes);
-        }
       },
       options.threads);
 
+  for (const std::vector<SchemeAggregate>& local : partials) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      point.schemes[s].trials += local[s].trials;
+      point.schemes[s].schedulable += local[s].schedulable;
+      point.schemes[s].u_sys.merge(local[s].u_sys);
+      point.schemes[s].u_avg.merge(local[s].u_avg);
+      point.schemes[s].imbalance.merge(local[s].imbalance);
+      point.schemes[s].probes.merge(local[s].probes);
+    }
+  }
   return point;
 }
 

@@ -7,7 +7,9 @@
 //                              (matching the paper: quality metrics consider
 //                              only schedulable task sets).
 // Trials are distributed over a thread pool; every trial re-derives its RNG
-// stream from (seed, trial), so results are independent of thread count.
+// stream from (seed, trial) and per-chunk partial aggregates are merged in
+// chunk index order after the join, so results are *bit-identical* for any
+// thread count (pinned by MonteCarloTest.DeterministicAcrossThreadCounts).
 #pragma once
 
 #include <cstdint>

@@ -35,11 +35,6 @@ std::uint64_t fingerprint_arg(const std::string& fingerprint) noexcept {
   return value;
 }
 
-std::string checkpoint_path_for(const SpecRunOptions& options,
-                                const SweepSpec& spec) {
-  return options.artifacts_dir + "/" + spec.name + ".checkpoint.jsonl";
-}
-
 util::Json artifact_json(const SweepSpec& spec, const SpecRunOptions& options,
                          const std::string& fingerprint,
                          const std::vector<PointCheckpoint>& points) {
@@ -65,6 +60,94 @@ util::Json artifact_json(const SweepSpec& spec, const SpecRunOptions& options,
 
 }  // namespace
 
+std::string checkpoint_path_for(const SpecRunOptions& options,
+                                const SweepSpec& spec) {
+  return options.artifacts_dir + "/" + spec.name + ".checkpoint.jsonl";
+}
+
+PointCheckpoint run_checkpointed_point(const Sweep& sweep, std::size_t index,
+                                       const SpecRunOptions& options,
+                                       const std::string& fingerprint,
+                                       PointCapture capture) {
+  const SweepPoint& pt = sweep.points[index];
+  RunOptions run_options{.trials = options.trials,
+                         .seed = options.seed,
+                         .threads = options.threads};
+  if (!sweep.share_workloads_across_points) {
+    run_options.seed = gen::derive_seed(options.seed, index);
+  }
+  // Under a thread sink only this thread's increments are attributed to the
+  // point, so its trials must not fan out to pool threads.
+  if (capture == PointCapture::kThreadSink) run_options.threads = 1;
+
+  PointCheckpoint point;
+  point.index = index;
+  const obs::ScopedSpan span(kPointSite, index, fingerprint_arg(fingerprint));
+  if (capture == PointCapture::kRegistrySnapshot) {
+    obs::MetricsEnabledGuard guard(options.collect_metrics);
+    const obs::MetricsSnapshot before = obs::registry().snapshot();
+    point.result = run_point(pt.params, pt.make_schemes(), run_options, pt.x);
+    const obs::MetricsSnapshot after = obs::registry().snapshot();
+    point.counters = obs::counter_deltas(before, after);
+    // Histogram values are deterministic per-trial quantities, so their
+    // percentiles merge into the counter map as "<name>.pNN" rows and
+    // stay checkpoint-safe (unlike wall-clock timers, which are never
+    // persisted).
+    point.counters.merge(obs::histogram_percentile_deltas(before, after));
+  } else if (options.collect_metrics) {
+    // Caller keeps the registry globally enabled for the whole parallel
+    // section (obs::MetricsEnabledGuard); the sink scopes attribution.
+    const obs::ThreadMetricsSink sink;
+    point.result = run_point(pt.params, pt.make_schemes(), run_options, pt.x);
+    point.counters = obs::registry().resolve_counter_deltas(sink);
+    point.counters.merge(obs::registry().resolve_histogram_percentiles(sink));
+  } else {
+    point.result = run_point(pt.params, pt.make_schemes(), run_options, pt.x);
+  }
+  return point;
+}
+
+ResumeState load_resume_state(const std::string& path,
+                              const std::string& fingerprint, std::size_t total,
+                              bool resume) {
+  ResumeState state;
+  state.done.resize(total);
+  if (!resume) return state;
+  if (std::optional<CheckpointData> cp = load_checkpoint(path);
+      cp && cp->fingerprint == fingerprint && cp->total_points == total) {
+    for (PointCheckpoint& point : cp->points) {
+      if (point.index < total && !state.done[point.index]) {
+        state.done[point.index] = std::move(point);
+        ++state.resumed_points;
+      }
+    }
+    state.resuming = true;
+  }
+  return state;
+}
+
+void write_spec_artifacts(const SweepSpec& spec, const SpecRunOptions& options,
+                          const std::string& fingerprint,
+                          std::vector<std::optional<PointCheckpoint>>& done,
+                          SpecRunResult& out) {
+  std::vector<PointCheckpoint> points;
+  points.reserve(done.size());
+  for (std::optional<PointCheckpoint>& point : done) {
+    points.push_back(std::move(*point));
+  }
+  out.json_path = options.artifacts_dir + "/" + spec.name + ".json";
+  {
+    std::ofstream json_out(out.json_path);
+    json_out << artifact_json(spec, options, fingerprint, points).dump()
+             << '\n';
+  }
+  out.csv_path = options.artifacts_dir + "/" + spec.name + ".csv";
+  write_csv(out.csv_path, out.result);
+  if (!options.keep_checkpoint) {
+    std::filesystem::remove(out.checkpoint_path);
+  }
+}
+
 SpecRunResult run_spec(const SweepSpec& spec, const SpecRunOptions& options) {
   const Sweep sweep = to_sweep(spec, options.alpha);
   const std::size_t total = sweep.points.size();
@@ -78,59 +161,23 @@ SpecRunResult run_spec(const SweepSpec& spec, const SpecRunOptions& options) {
 
   // Recover completed points from a checkpoint that matches this exact
   // configuration; anything else is discarded.
-  std::vector<std::optional<PointCheckpoint>> done(total);
-  bool resuming = false;
-  if (options.resume) {
-    if (std::optional<CheckpointData> cp = load_checkpoint(out.checkpoint_path);
-        cp && cp->fingerprint == out.fingerprint &&
-        cp->total_points == total) {
-      for (PointCheckpoint& point : cp->points) {
-        if (point.index < total && !done[point.index]) {
-          done[point.index] = std::move(point);
-          ++out.resumed_points;
-        }
-      }
-      resuming = true;
-    }
-  }
+  ResumeState state = load_resume_state(out.checkpoint_path, out.fingerprint,
+                                        total, options.resume);
+  std::vector<std::optional<PointCheckpoint>>& done = state.done;
+  out.resumed_points = state.resumed_points;
 
   std::size_t completed = out.resumed_points;
   {
     CheckpointWriter writer(out.checkpoint_path, spec.name, out.fingerprint,
-                            total, resuming);
+                            total, state.resuming);
     std::size_t ran = 0;
     for (std::size_t i = 0; i < total; ++i) {
       if (done[i]) continue;
       if (options.stop_after_points != 0 && ran >= options.stop_after_points) {
         break;
       }
-
-      const SweepPoint& pt = sweep.points[i];
-      RunOptions run_options{.trials = options.trials,
-                             .seed = options.seed,
-                             .threads = options.threads};
-      if (!sweep.share_workloads_across_points) {
-        run_options.seed = gen::derive_seed(options.seed, i);
-      }
-
-      PointCheckpoint point;
-      point.index = i;
-      {
-        const obs::ScopedSpan span(kPointSite, i,
-                                   fingerprint_arg(out.fingerprint));
-        obs::MetricsEnabledGuard guard(options.collect_metrics);
-        const obs::MetricsSnapshot before = obs::registry().snapshot();
-        point.result =
-            run_point(pt.params, pt.make_schemes(), run_options, pt.x);
-        const obs::MetricsSnapshot after = obs::registry().snapshot();
-        point.counters = obs::counter_deltas(before, after);
-        // Histogram values are deterministic per-trial quantities, so their
-        // percentiles merge into the counter map as "<name>.pNN" rows and
-        // stay checkpoint-safe (unlike wall-clock timers, which are never
-        // persisted).
-        point.counters.merge(obs::histogram_percentile_deltas(before, after));
-      }
-
+      PointCheckpoint point = run_checkpointed_point(
+          sweep, i, options, out.fingerprint, PointCapture::kRegistrySnapshot);
       writer.append(point);
       done[i] = std::move(point);
       ++ran;
@@ -148,22 +195,7 @@ SpecRunResult run_spec(const SweepSpec& spec, const SpecRunOptions& options) {
   }
 
   if (out.complete && options.write_artifacts) {
-    std::vector<PointCheckpoint> points;
-    points.reserve(total);
-    for (std::optional<PointCheckpoint>& point : done) {
-      points.push_back(std::move(*point));
-    }
-    out.json_path = options.artifacts_dir + "/" + spec.name + ".json";
-    {
-      std::ofstream json_out(out.json_path);
-      json_out << artifact_json(spec, options, out.fingerprint, points).dump()
-               << '\n';
-    }
-    out.csv_path = options.artifacts_dir + "/" + spec.name + ".csv";
-    write_csv(out.csv_path, out.result);
-    if (!options.keep_checkpoint) {
-      std::filesystem::remove(out.checkpoint_path);
-    }
+    write_spec_artifacts(spec, options, out.fingerprint, done, out);
   }
   return out;
 }

@@ -69,6 +69,54 @@ struct SpecRunResult {
 [[nodiscard]] SpecRunResult run_spec(const SweepSpec& spec,
                                      const SpecRunOptions& options);
 
+// -- building blocks (shared with the svc:: parallel sweep executor) -------
+
+/// The checkpoint file location run_spec uses for `spec`.
+[[nodiscard]] std::string checkpoint_path_for(const SpecRunOptions& options,
+                                              const SweepSpec& spec);
+
+/// How a point's observability deltas are captured.
+enum class PointCapture {
+  /// Global registry snapshot diff around the point.  Correct only when the
+  /// point is the sole metered work in the process (the sequential
+  /// orchestrator); the point's trials may then use the full thread pool.
+  kRegistrySnapshot,
+  /// Thread-local obs::ThreadMetricsSink.  Correct when several points run
+  /// concurrently; forces the point's trials onto the calling thread so the
+  /// sink sees exactly this point's increments.
+  kThreadSink,
+};
+
+/// Runs point `index` of `sweep` end-to-end: per-point seed derivation, the
+/// exp.point trace span, metrics capture per `capture`.  A pure function of
+/// (sweep, index, options.trials/seed/alpha) — both capture modes yield
+/// bit-identical checkpoints, which is what makes `--jobs N` artifacts
+/// byte-identical to sequential ones.
+[[nodiscard]] PointCheckpoint run_checkpointed_point(
+    const Sweep& sweep, std::size_t index, const SpecRunOptions& options,
+    const std::string& fingerprint, PointCapture capture);
+
+/// Completed points recovered from a checkpoint matching (fingerprint,
+/// total); `resuming` reports whether a usable checkpoint existed (its file
+/// is then appended to rather than truncated).
+struct ResumeState {
+  std::vector<std::optional<PointCheckpoint>> done;
+  std::size_t resumed_points = 0;
+  bool resuming = false;
+};
+
+[[nodiscard]] ResumeState load_resume_state(const std::string& path,
+                                            const std::string& fingerprint,
+                                            std::size_t total, bool resume);
+
+/// Writes <name>.json/<name>.csv for a completed run (and removes the
+/// checkpoint unless options.keep_checkpoint), filling out.json_path /
+/// out.csv_path.  `done` must hold every point.
+void write_spec_artifacts(const SweepSpec& spec, const SpecRunOptions& options,
+                          const std::string& fingerprint,
+                          std::vector<std::optional<PointCheckpoint>>& done,
+                          SpecRunResult& out);
+
 /// A loaded "mcs-exp-artifact/1" file: provenance plus the exact per-point
 /// aggregates and counter deltas.
 struct Artifact {

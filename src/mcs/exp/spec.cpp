@@ -1,9 +1,10 @@
 #include "mcs/exp/spec.hpp"
 
-#include <bit>
 #include <cctype>
 #include <initializer_list>
 #include <string_view>
+
+#include "mcs/util/fnv.hpp"
 
 namespace mcs::exp {
 
@@ -155,40 +156,9 @@ Sweep to_sweep(const SweepSpec& spec, double alpha) {
   return sweep;
 }
 
-namespace {
-
-class Fnv1a {
- public:
-  void feed(std::string_view bytes) noexcept {
-    for (const char c : bytes) {
-      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-      hash_ *= 0x100000001b3ULL;
-    }
-  }
-  void feed_u64(std::uint64_t v) {
-    char buf[16];
-    for (int i = 0; i < 16; ++i) {
-      buf[i] = "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
-    }
-    feed(std::string_view(buf, 16));
-    feed("|");
-  }
-  void feed_double(double v) { feed_u64(std::bit_cast<std::uint64_t>(v)); }
-  void feed_str(std::string_view s) {
-    feed(s);
-    feed("|");
-  }
-  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-}  // namespace
-
 std::string spec_fingerprint(const SweepSpec& spec, std::uint64_t trials,
                              std::uint64_t seed, double alpha) {
-  Fnv1a h;
+  util::Fnv1a h;
   h.feed_str("mcs-spec-fingerprint/1");
   h.feed_str(spec.name);
   h.feed_str(axis_name(spec.axis));
@@ -213,14 +183,7 @@ std::string spec_fingerprint(const SweepSpec& spec, std::uint64_t trials,
   h.feed_u64(trials);
   h.feed_u64(seed);
   h.feed_double(alpha);
-
-  std::string out(16, '0');
-  const std::uint64_t v = h.value();
-  for (int i = 0; i < 16; ++i) {
-    out[static_cast<std::size_t>(i)] =
-        "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
-  }
-  return out;
+  return h.hex();
 }
 
 }  // namespace mcs::exp

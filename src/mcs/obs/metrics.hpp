@@ -23,12 +23,92 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mcs::obs {
 
 namespace detail {
 inline std::atomic<bool> g_enabled{false};
 }  // namespace detail
+
+/// Bucket count shared by Histogram and the thread sink (defined before
+/// both so the sink can size its capture arrays).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Thread-local capture of the metered events recorded *on this thread*
+/// while the sink is installed.  The global instruments still update (a
+/// sink observes, it does not redirect), so snapshots taken elsewhere stay
+/// correct; what the sink adds is attribution: when several experiment
+/// points run concurrently on different threads, each worker's sink sees
+/// exactly its own point's increments — the per-point counter deltas the
+/// sequential orchestrator derives from global snapshots, recovered without
+/// serializing the points.  Keys are instrument addresses (stable for the
+/// process lifetime); Registry::resolve_* turns them back into names.
+///
+/// Install/uninstall is RAII and nestable (the innermost sink captures).
+/// Hot-path cost when no sink is installed: one thread-local load and a
+/// predicted branch, paid only on the already-metered (enabled) path.
+class ThreadMetricsSink {
+ public:
+  ThreadMetricsSink() noexcept;
+  ~ThreadMetricsSink();
+  ThreadMetricsSink(const ThreadMetricsSink&) = delete;
+  ThreadMetricsSink& operator=(const ThreadMetricsSink&) = delete;
+
+  void on_counter(const void* counter, std::uint64_t n) {
+    for (auto& [key, value] : counters_) {
+      if (key == counter) {
+        value += n;
+        return;
+      }
+    }
+    counters_.emplace_back(counter, n);
+  }
+
+  void on_histogram(const void* histogram, std::uint64_t value) {
+    const auto bucket = static_cast<std::size_t>(std::bit_width(value));
+    for (auto& [key, buckets] : histograms_) {
+      if (key == histogram) {
+        ++buckets[bucket];
+        return;
+      }
+    }
+    histograms_.emplace_back(histogram,
+                             std::array<std::uint64_t, kHistogramBuckets>{});
+    ++histograms_.back().second[bucket];
+  }
+
+  [[nodiscard]] const std::vector<std::pair<const void*, std::uint64_t>>&
+  counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<
+      std::pair<const void*, std::array<std::uint64_t, kHistogramBuckets>>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  ThreadMetricsSink* previous_;
+  /// Linear-scan vectors: a sweep point touches ~a dozen distinct
+  /// instruments, and the same counter is hit repeatedly (the scan usually
+  /// terminates on its first probe), so this beats a map on the hot path.
+  std::vector<std::pair<const void*, std::uint64_t>> counters_;
+  std::vector<std::pair<const void*, std::array<std::uint64_t, kHistogramBuckets>>>
+      histograms_;
+};
+
+namespace detail {
+inline thread_local ThreadMetricsSink* t_sink = nullptr;
+}  // namespace detail
+
+inline ThreadMetricsSink::ThreadMetricsSink() noexcept
+    : previous_(detail::t_sink) {
+  detail::t_sink = this;
+}
+
+inline ThreadMetricsSink::~ThreadMetricsSink() { detail::t_sink = previous_; }
 
 /// Whether instruments record anything.  Relaxed: hot paths tolerate a
 /// slightly stale view around the enable/disable edge.
@@ -61,6 +141,7 @@ class Counter {
   void add(std::uint64_t n = 1) noexcept {
     if (!metrics_enabled()) return;
     value_.fetch_add(n, std::memory_order_relaxed);
+    if (ThreadMetricsSink* sink = detail::t_sink) sink->on_counter(this, n);
   }
 
   [[nodiscard]] std::uint64_t value() const noexcept {
@@ -127,13 +208,16 @@ class ScopedTimer {
 /// values with bit_width b (bucket 0 is the value 0).
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 65;
+  static constexpr std::size_t kBuckets = kHistogramBuckets;
 
   void record(std::uint64_t value) noexcept {
     if (!metrics_enabled()) return;
     buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
         1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    if (ThreadMetricsSink* sink = detail::t_sink) {
+      sink->on_histogram(this, value);
+    }
     // Running maximum via CAS: a failed exchange reloads `seen`, so the
     // loop terminates as soon as another thread published a larger value.
     std::uint64_t seen = max_.load(std::memory_order_relaxed);
@@ -227,6 +311,19 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Resolves a thread sink's pointer-keyed counter captures into the
+  /// name-keyed delta map that counter_deltas(before, after) would produce
+  /// had the sink's thread been the only metered work between the
+  /// snapshots.  Sink entries for counters unknown to this registry are
+  /// dropped (cannot happen for instruments obtained via counter()).
+  [[nodiscard]] std::map<std::string, std::uint64_t> resolve_counter_deltas(
+      const ThreadMetricsSink& sink) const;
+
+  /// Same resolution for histograms, flattened to "<name>.p50/.p90/.p99"
+  /// pseudo-counters exactly like histogram_percentile_deltas.
+  [[nodiscard]] std::map<std::string, std::uint64_t>
+  resolve_histogram_percentiles(const ThreadMetricsSink& sink) const;
 
   /// Zeroes every instrument (names stay registered).
   void reset();

@@ -1,0 +1,77 @@
+// Fingerprint-keyed LRU cache of analysis results.
+//
+// Keys are the 64-bit FNV-1a request fingerprints; values are shared
+// pointers to immutable AnalysisResults (shared so a hit stays valid after
+// the entry is evicted under a concurrent insert).  Every entry also stores
+// its request's canonical text: a lookup whose fingerprint matches but
+// whose text differs is a detected collision and is served as a miss (and
+// counted), so a 64-bit hash collision can never return the wrong
+// partition — the differential selftest relies on this.
+//
+// Hit/miss/eviction/collision totals feed the obs registry
+// (serve.cache.{hits,misses,evictions,collisions}) so the daemon's /stats
+// and the selftest report them without a side channel.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mcs/svc/analysis.hpp"
+
+namespace mcs::svc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t collisions = 0;  ///< fingerprint matched, canonical text not
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe LRU map fingerprint -> AnalysisResult.  All operations are
+/// O(1) amortized (hash map + intrusive recency list).
+class AnalysisCache {
+ public:
+  /// A cache holding at most `capacity` entries (>= 1 enforced).
+  explicit AnalysisCache(std::size_t capacity);
+
+  /// Returns the cached result when `fingerprint` is present AND the stored
+  /// canonical text equals `canonical`; refreshes the entry's recency.
+  /// Returns nullptr (a miss) otherwise; a present-but-mismatching entry
+  /// additionally counts a collision and is left in place (the colliding
+  /// requests will keep missing, which is correct, just not fast).
+  [[nodiscard]] std::shared_ptr<const AnalysisResult> lookup(
+      std::uint64_t fingerprint, const std::string& canonical);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used one
+  /// when full.  An existing entry with the same fingerprint is replaced —
+  /// callers only insert after a miss, so a replace means a collision was
+  /// detected on lookup and the newer request now owns the slot.
+  void insert(std::uint64_t fingerprint, std::string canonical,
+              std::shared_ptr<const AnalysisResult> result);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Empties the cache (totals are kept; they are lifetime counters).
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::string canonical;
+    std::shared_ptr<const AnalysisResult> result;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace mcs::svc

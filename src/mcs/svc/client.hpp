@@ -1,0 +1,40 @@
+// Blocking mcs_serve client: one AF_UNIX connection, synchronous
+// request/response.  Used by the selftest load generator, the mcs_serve
+// --client one-shot mode, and the server tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mcs/svc/analysis.hpp"
+#include "mcs/svc/protocol.hpp"
+#include "mcs/util/json.hpp"
+
+namespace mcs::svc {
+
+class Client {
+ public:
+  /// Connects to a listening mcs_serve socket.  Throws std::runtime_error
+  /// when the connection cannot be established.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and returns the parsed JSON response line.  Each
+  /// call throws std::runtime_error on a broken connection or a response
+  /// that is not valid JSON.
+  util::Json analyze(const AnalysisRequest& request);
+  util::Json ping();
+  util::Json stats();
+  util::Json shutdown();
+
+ private:
+  util::Json roundtrip(const std::string& text);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string rx_buffer_;
+};
+
+}  // namespace mcs::svc

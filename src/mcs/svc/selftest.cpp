@@ -1,0 +1,273 @@
+#include "mcs/svc/selftest.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "mcs/analysis/placement.hpp"
+#include "mcs/exp/paper_params.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+#include "mcs/svc/client.hpp"
+#include "mcs/svc/server.hpp"
+#include "mcs/util/table.hpp"
+
+namespace mcs::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Exact sample quantile (nearest-rank on the sorted sample), matching the
+/// p50/p99 definition the bench docs quote.
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::min(samples.size() - 1, std::max<std::size_t>(rank, 1) - 1)];
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  return total / static_cast<double>(samples.size());
+}
+
+util::Json num(double v) {
+  return util::Json::number_raw(util::format_double(v, 6));
+}
+
+/// One cold/warm response validated against the in-process analysis.
+/// Returns an error description, empty when the response matches.
+std::string check_response(const util::Json& response, bool expect_cached,
+                           const AnalysisResult& expected) {
+  if (!response.at("ok").as_bool()) {
+    return "server error: " + response.at("error").as_string();
+  }
+  if (response.at("cached").as_bool() != expect_cached) {
+    return expect_cached ? "warm request missed the cache"
+                         : "cold request claimed a cache hit";
+  }
+  if (response.at("success").as_bool() != expected.success) {
+    return "success flag differs from in-process analysis";
+  }
+  if (response.at("probes").as_u64() != expected.probes) {
+    return "probe count differs from in-process analysis";
+  }
+  if (expected.success) {
+    if (response.at("u_sys").as_double() != expected.u_sys ||
+        response.at("u_avg").as_double() != expected.u_avg ||
+        response.at("imbalance").as_double() != expected.imbalance) {
+      return "metrics differ from in-process analysis";
+    }
+    if (response.at("partition").as_string() != expected.partition_text) {
+      return "partition differs from in-process analysis";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+SelftestReport run_selftest(const SelftestOptions& options) {
+  SelftestOptions opts = options;
+  if (opts.quick) {
+    opts.requests_per_size = std::max<std::size_t>(4, opts.requests_per_size / 4);
+  }
+  if (opts.socket_path.empty()) {
+    opts.socket_path =
+        "/tmp/mcs_serve_selftest_" + std::to_string(::getpid()) + ".sock";
+  }
+
+  SelftestReport report;
+  report.options = opts;
+  report.differential_ok = true;
+
+  Server server(ServerConfig{opts.socket_path, opts.workers,
+                             opts.cache_capacity});
+  Client client(opts.socket_path);
+
+  const auto fail = [&](std::string why) {
+    if (report.differential_ok) {
+      report.differential_ok = false;
+      report.differential_error = std::move(why);
+    }
+  };
+
+  if (!client.ping().at("pong").as_bool()) fail("ping did not pong");
+
+  analysis::PlacementEngine reference_engine;
+  double total_cold_us = 0.0;
+  double total_warm_us = 0.0;
+  double total_client_us = 0.0;
+  std::uint64_t sets = 0;
+
+  for (const std::size_t tasks : opts.sizes) {
+    gen::GenParams params = exp::default_gen_params();
+    params.num_cores = opts.num_cores;
+    params.num_tasks = tasks;
+
+    std::vector<AnalysisRequest> requests;
+    std::vector<AnalysisResult> expected;
+    requests.reserve(opts.requests_per_size);
+    for (std::size_t i = 0; i < opts.requests_per_size; ++i) {
+      AnalysisRequest request{opts.scheme_spec, opts.num_cores, opts.alpha,
+                              gen::generate_trial(params, opts.seed, sets++)};
+      expected.push_back(analyze(request, reference_engine));
+      requests.push_back(std::move(request));
+    }
+
+    SelftestSizeReport row;
+    row.tasks = tasks;
+    row.requests = opts.requests_per_size;
+
+    std::vector<double> cold, warm, cold_server, warm_server;
+    cold.reserve(requests.size());
+    warm.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto start = Clock::now();
+      const util::Json response = client.analyze(requests[i]);
+      cold.push_back(micros_since(start));
+      cold_server.push_back(response.at("elapsed_us").as_double());
+      if (const std::string why = check_response(response, false, expected[i]);
+          !why.empty()) {
+        fail("cold N=" + std::to_string(tasks) + " #" + std::to_string(i) +
+             ": " + why);
+      }
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto start = Clock::now();
+      const util::Json response = client.analyze(requests[i]);
+      warm.push_back(micros_since(start));
+      warm_server.push_back(response.at("elapsed_us").as_double());
+      if (const std::string why = check_response(response, true, expected[i]);
+          !why.empty()) {
+        fail("warm N=" + std::to_string(tasks) + " #" + std::to_string(i) +
+             ": " + why);
+      }
+    }
+
+    row.cold_mean_us = mean(cold);
+    row.cold_p50_us = quantile(cold, 0.50);
+    row.cold_p99_us = quantile(cold, 0.99);
+    row.warm_mean_us = mean(warm);
+    row.warm_p50_us = quantile(warm, 0.50);
+    row.warm_p99_us = quantile(warm, 0.99);
+    row.cold_rps = row.cold_mean_us > 0.0 ? 1e6 / row.cold_mean_us : 0.0;
+    row.warm_rps = row.warm_mean_us > 0.0 ? 1e6 / row.warm_mean_us : 0.0;
+    row.cold_server_us = mean(cold_server);
+    row.warm_server_us = mean(warm_server);
+    row.speedup = row.warm_server_us > 0.0
+                      ? row.cold_server_us / row.warm_server_us
+                      : 0.0;
+
+    const auto n = static_cast<double>(requests.size());
+    total_cold_us += row.cold_server_us * n;
+    total_warm_us += row.warm_server_us * n;
+    total_client_us += (row.cold_mean_us + row.warm_mean_us) * n;
+    report.total_requests += 2 * requests.size();
+    report.sizes.push_back(row);
+  }
+
+  report.aggregate_speedup =
+      total_warm_us > 0.0 ? total_cold_us / total_warm_us : 0.0;
+  report.requests_per_sec =
+      total_client_us > 0.0
+          ? static_cast<double>(report.total_requests) * 1e6 / total_client_us
+          : 0.0;
+
+  // The stats verb and the direct registry view must agree on totals.
+  const util::Json stats = client.stats();
+  report.cache = server.cache_stats();
+  if (stats.at("cache").at("hits").as_u64() != report.cache.hits) {
+    fail("stats response disagrees with the cache's own hit total");
+  }
+  client.shutdown();
+  server.wait();
+  return report;
+}
+
+util::Json selftest_json(const SelftestReport& report) {
+  util::Json out = util::Json::object();
+  out.set("bench", util::Json::string("mcs_serve"));
+  out.set("workers", util::Json::number(report.options.workers));
+  out.set("cache_capacity",
+          util::Json::number(report.options.cache_capacity));
+  out.set("scheme", util::Json::string(report.options.scheme_spec));
+  out.set("cores", util::Json::number(report.options.num_cores));
+  out.set("requests_per_size",
+          util::Json::number(report.options.requests_per_size));
+  out.set("quick", util::Json::boolean(report.options.quick));
+  out.set("requests", util::Json::number(report.total_requests));
+  out.set("requests_per_sec", num(report.requests_per_sec));
+  util::Json sizes = util::Json::array();
+  for (const SelftestSizeReport& row : report.sizes) {
+    util::Json size = util::Json::object();
+    size.set("tasks", util::Json::number(row.tasks));
+    size.set("requests", util::Json::number(row.requests));
+    util::Json cold = util::Json::object();
+    cold.set("mean_us", num(row.cold_mean_us));
+    cold.set("p50_us", num(row.cold_p50_us));
+    cold.set("p99_us", num(row.cold_p99_us));
+    cold.set("requests_per_sec", num(row.cold_rps));
+    cold.set("server_mean_us", num(row.cold_server_us));
+    size.set("cold", std::move(cold));
+    util::Json warm = util::Json::object();
+    warm.set("mean_us", num(row.warm_mean_us));
+    warm.set("p50_us", num(row.warm_p50_us));
+    warm.set("p99_us", num(row.warm_p99_us));
+    warm.set("requests_per_sec", num(row.warm_rps));
+    warm.set("server_mean_us", num(row.warm_server_us));
+    size.set("warm", std::move(warm));
+    size.set("speedup", num(row.speedup));
+    sizes.push(std::move(size));
+  }
+  out.set("sizes", std::move(sizes));
+  out.set("aggregate_speedup", num(report.aggregate_speedup));
+  return out;
+}
+
+void print_selftest(std::ostream& out, const SelftestReport& report) {
+  out << "mcs_serve selftest: " << report.total_requests << " requests, "
+      << report.options.workers << " worker(s), cache capacity "
+      << report.options.cache_capacity << "\n\n";
+  util::Table table({"tasks", "requests", "cold p50us", "cold p99us",
+                     "warm p50us", "warm p99us", "req/s", "speedup"});
+  for (const SelftestSizeReport& row : report.sizes) {
+    table.begin_row();
+    table.add_cell(row.tasks);
+    table.add_cell(row.requests);
+    table.add_cell(row.cold_p50_us, 1);
+    table.add_cell(row.cold_p99_us, 1);
+    table.add_cell(row.warm_p50_us, 1);
+    table.add_cell(row.warm_p99_us, 1);
+    table.add_cell(row.warm_rps, 0);
+    table.add_cell(row.speedup, 2);
+  }
+  table.print(out);
+  out << "\ncache: " << report.cache.hits << " hit(s), "
+      << report.cache.misses << " miss(es), " << report.cache.evictions
+      << " eviction(s), " << report.cache.collisions << " collision(s)\n";
+  out << "aggregate cache speedup: ";
+  out.precision(3);
+  out << report.aggregate_speedup << "  (" << report.requests_per_sec
+      << " req/s closed-loop)\n";
+  out << "differential validation: "
+      << (report.differential_ok ? "OK" : "FAILED") << '\n';
+  if (!report.differential_ok) {
+    out << "  first mismatch: " << report.differential_error << '\n';
+  }
+}
+
+}  // namespace mcs::svc

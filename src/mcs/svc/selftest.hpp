@@ -1,0 +1,91 @@
+// Closed-loop daemon selftest and latency/throughput bench
+// (mcs_serve --selftest).
+//
+// Boots an in-process Server on a private socket, then drives it with a
+// closed-loop load generator per task-set size: a cold pass of distinct
+// requests (every one a cache miss that runs the partitioner) followed by
+// a warm pass of the same requests (every one a cache hit).  Every cold
+// response is differentially validated against an in-process svc::analyze
+// of the same request, and every warm response must match its cold twin
+// field-for-field with cached == true — so the selftest is simultaneously
+// the correctness gate for the protocol + cache path and the source of
+// BENCH_serve.json.
+//
+// Reported per size: exact (sorted-sample, not histogram-bucket) p50/p99
+// client round-trip latency and closed-loop requests/sec for both passes,
+// plus the dimensionless speedup = cold / warm mean of the SERVER-side
+// handling time (the responses' elapsed_us field).  Round trips include
+// socket scheduling noise that swamps small requests; the server-side
+// ratio isolates exactly the work the cache elides (partitioning +
+// analysis vs. a lookup), which makes it the stable machine-independent
+// ratio the bench regression gate tracks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mcs/svc/cache.hpp"
+#include "mcs/util/json.hpp"
+
+namespace mcs::svc {
+
+struct SelftestOptions {
+  std::vector<std::size_t> sizes{40, 120, 240};  ///< task-set sizes (N)
+  std::size_t requests_per_size = 32;  ///< distinct task sets per size
+  std::size_t workers = 2;
+  std::size_t cache_capacity = 1024;   ///< >= total requests: warm pass hits
+  std::string scheme_spec = "CA-TPA";
+  std::size_t num_cores = 8;
+  double alpha = 0.7;
+  std::uint64_t seed = 1;
+  bool quick = false;  ///< quarter the request count (CI smoke)
+  /// Socket path; empty derives a per-process path under /tmp.
+  std::string socket_path;
+};
+
+struct SelftestSizeReport {
+  std::size_t tasks = 0;
+  std::size_t requests = 0;
+  // Client round-trip latency (includes socket + framing).
+  double cold_mean_us = 0.0;
+  double cold_p50_us = 0.0;
+  double cold_p99_us = 0.0;
+  double cold_rps = 0.0;
+  double warm_mean_us = 0.0;
+  double warm_p50_us = 0.0;
+  double warm_p99_us = 0.0;
+  double warm_rps = 0.0;
+  // Server-side handling time (the responses' elapsed_us field).
+  double cold_server_us = 0.0;
+  double warm_server_us = 0.0;
+  double speedup = 0.0;  ///< cold_server_us / warm_server_us
+};
+
+struct SelftestReport {
+  std::vector<SelftestSizeReport> sizes;
+  double aggregate_speedup = 0.0;  ///< total cold time / total warm time
+  std::uint64_t total_requests = 0;
+  double requests_per_sec = 0.0;  ///< closed-loop, both passes combined
+  CacheStats cache;
+  bool differential_ok = false;
+  std::string differential_error;  ///< first mismatch, when !differential_ok
+  SelftestOptions options;
+};
+
+/// Runs the selftest.  Throws std::runtime_error on infrastructure
+/// failures (socket errors); validation failures are reported via
+/// differential_ok / differential_error instead so the caller can print
+/// the full report.
+[[nodiscard]] SelftestReport run_selftest(const SelftestOptions& options);
+
+/// The BENCH_serve.json document (schema-compatible with the other BENCH_*
+/// files: per-size "speedup" ratios plus "aggregate_speedup", which is what
+/// tools/check_bench_regression.py gates on).
+[[nodiscard]] util::Json selftest_json(const SelftestReport& report);
+
+/// Human-readable panel (the --selftest console output).
+void print_selftest(std::ostream& out, const SelftestReport& report);
+
+}  // namespace mcs::svc

@@ -1,0 +1,56 @@
+// FNV-1a streaming hasher shared by every fingerprinting layer.
+//
+// The experiment registry fingerprints SweepSpecs with it (exp::spec.cpp)
+// and the service layer fingerprints task-set analysis requests (svc::
+// fingerprint.cpp); both feed doubles as their exact IEEE-754 bit patterns
+// so a fingerprint never depends on decimal formatting.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcs::util {
+
+/// Formats v as 16 lowercase hex digits (the canonical fingerprint form).
+[[nodiscard]] inline std::string u64_hex16(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+/// Streaming 64-bit FNV-1a.  Every feed_* terminates its field with a '|'
+/// separator so adjacent variable-length fields cannot alias.
+class Fnv1a {
+ public:
+  void feed(std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void feed_u64(std::uint64_t v) {
+    char buf[16];
+    for (int i = 0; i < 16; ++i) {
+      buf[i] = "0123456789abcdef"[(v >> (60 - 4 * i)) & 0xF];
+    }
+    feed(std::string_view(buf, 16));
+    feed("|");
+  }
+  void feed_double(double v) { feed_u64(std::bit_cast<std::uint64_t>(v)); }
+  void feed_str(std::string_view s) {
+    feed(s);
+    feed("|");
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+  [[nodiscard]] std::string hex() const { return u64_hex16(hash_); }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace mcs::util

@@ -48,11 +48,19 @@ TEST(MonteCarloTest, DeterministicAcrossThreadCounts) {
   const PointResult b = run_point(
       small_params(), schemes, RunOptions{.trials = 200, .seed = 9, .threads = 3},
       0.0);
+  // Bit-exact, not merely close: per-chunk Welford partials are merged in
+  // chunk-index order after the join, so the thread count cannot perturb a
+  // single bit.  The parallel sweep executor (svc::) and the --jobs N
+  // artifact byte-identity guarantee are built on this.
   for (std::size_t s = 0; s < a.schemes.size(); ++s) {
     EXPECT_EQ(a.schemes[s].schedulable, b.schemes[s].schedulable);
-    EXPECT_NEAR(a.schemes[s].u_sys.mean(), b.schemes[s].u_sys.mean(), 1e-9);
-    EXPECT_NEAR(a.schemes[s].imbalance.mean(), b.schemes[s].imbalance.mean(),
-                1e-9);
+    EXPECT_EQ(a.schemes[s].trials, b.schemes[s].trials);
+    EXPECT_EQ(a.schemes[s].u_sys.count(), b.schemes[s].u_sys.count());
+    EXPECT_EQ(a.schemes[s].u_sys.mean(), b.schemes[s].u_sys.mean());
+    EXPECT_EQ(a.schemes[s].u_sys.m2(), b.schemes[s].u_sys.m2());
+    EXPECT_EQ(a.schemes[s].imbalance.mean(), b.schemes[s].imbalance.mean());
+    EXPECT_EQ(a.schemes[s].imbalance.m2(), b.schemes[s].imbalance.m2());
+    EXPECT_EQ(a.schemes[s].probes.mean(), b.schemes[s].probes.mean());
   }
 }
 

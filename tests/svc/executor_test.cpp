@@ -1,0 +1,207 @@
+// Parallel sweep executor: --jobs validation, byte-identity of parallel
+// artifacts against sequential ones, cross-resume between the two
+// schedulers, and out-of-order checkpoint append determinism.
+#include "mcs/svc/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "mcs/exp/paper_params.hpp"
+#include "mcs/partition/registry.hpp"
+#include "mcs/util/thread_pool.hpp"
+
+namespace mcs::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() / ("mcs_svc_executor_" + name)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// fig1 at a few trials: 9 points, every scheme, checkpoint + artifact
+/// machinery end to end but fast.
+const exp::SweepSpec& test_spec() {
+  const exp::SweepSpec* spec = exp::find_spec("fig1");
+  EXPECT_NE(spec, nullptr);
+  return *spec;
+}
+
+exp::SpecRunOptions small_options(const std::string& dir) {
+  exp::SpecRunOptions options;
+  options.trials = 12;
+  options.seed = 7;
+  options.artifacts_dir = dir;
+  options.source = "executor-test";
+  return options;
+}
+
+TEST(ResolveJobsTest, RejectsZero) {
+  EXPECT_THROW((void)resolve_jobs(0), std::invalid_argument);
+}
+
+TEST(ResolveJobsTest, PassesThroughSmallCounts) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+}
+
+TEST(ResolveJobsTest, ClampsToHardwareConcurrency) {
+  const std::size_t hardware = util::default_thread_count();
+  EXPECT_EQ(resolve_jobs(1u << 20), hardware);
+  EXPECT_LE(resolve_jobs(hardware), hardware);
+}
+
+TEST(SvcExecutorTest, ParallelArtifactsAreByteIdenticalToSequential) {
+  ScratchDir seq_dir("seq"), par_dir("par");
+  const exp::SpecRunResult sequential =
+      exp::run_spec(test_spec(), small_options(seq_dir.str()));
+  // jobs = 4 regardless of this machine's core count: determinism must come
+  // from the merge discipline, not from the scheduler degenerating to one
+  // worker.
+  const exp::SpecRunResult parallel =
+      run_spec_parallel(test_spec(), small_options(par_dir.str()), 4);
+
+  ASSERT_TRUE(sequential.complete);
+  ASSERT_TRUE(parallel.complete);
+  EXPECT_EQ(sequential.fingerprint, parallel.fingerprint);
+
+  const std::string seq_json = read_file(sequential.json_path);
+  const std::string par_json = read_file(parallel.json_path);
+  ASSERT_FALSE(seq_json.empty());
+  EXPECT_EQ(seq_json, par_json);
+  EXPECT_EQ(read_file(sequential.csv_path), read_file(parallel.csv_path));
+
+  // Per-point observability deltas captured via thread sinks equal the
+  // sequential snapshot-diff capture.
+  ASSERT_EQ(sequential.point_counters.size(), parallel.point_counters.size());
+  for (std::size_t i = 0; i < sequential.point_counters.size(); ++i) {
+    EXPECT_EQ(sequential.point_counters[i], parallel.point_counters[i])
+        << "point " << i;
+  }
+}
+
+TEST(SvcExecutorTest, JobsOneUsesSameSchedulerAndMatches) {
+  ScratchDir seq_dir("seq1"), par_dir("par1");
+  const exp::SpecRunResult sequential =
+      exp::run_spec(test_spec(), small_options(seq_dir.str()));
+  const exp::SpecRunResult one_job =
+      run_spec_parallel(test_spec(), small_options(par_dir.str()), 1);
+  EXPECT_EQ(read_file(sequential.json_path), read_file(one_job.json_path));
+}
+
+TEST(SvcExecutorTest, ParallelResumesSequentialCheckpoint) {
+  ScratchDir full_dir("full"), resumed_dir("resumed");
+  const exp::SpecRunResult full =
+      exp::run_spec(test_spec(), small_options(full_dir.str()));
+
+  // Interrupt a sequential run after 3 points, then finish it with the
+  // parallel executor: shard-merged completion must restore byte-identical
+  // artifacts.
+  exp::SpecRunOptions interrupted = small_options(resumed_dir.str());
+  interrupted.stop_after_points = 3;
+  const exp::SpecRunResult partial = exp::run_spec(test_spec(), interrupted);
+  ASSERT_FALSE(partial.complete);
+
+  const exp::SpecRunResult finished =
+      run_spec_parallel(test_spec(), small_options(resumed_dir.str()), 3);
+  ASSERT_TRUE(finished.complete);
+  EXPECT_EQ(finished.resumed_points, 3u);
+  EXPECT_EQ(read_file(full.json_path), read_file(finished.json_path));
+}
+
+TEST(SvcExecutorTest, SequentialResumesParallelCheckpoint) {
+  ScratchDir full_dir("full2"), resumed_dir("resumed2");
+  const exp::SpecRunResult full =
+      exp::run_spec(test_spec(), small_options(full_dir.str()));
+
+  exp::SpecRunOptions interrupted = small_options(resumed_dir.str());
+  interrupted.stop_after_points = 4;
+  const exp::SpecRunResult partial =
+      run_spec_parallel(test_spec(), interrupted, 4);
+  ASSERT_FALSE(partial.complete);
+
+  const exp::SpecRunResult finished =
+      exp::run_spec(test_spec(), small_options(resumed_dir.str()));
+  ASSERT_TRUE(finished.complete);
+  EXPECT_EQ(finished.resumed_points, 4u);
+  EXPECT_EQ(read_file(full.json_path), read_file(finished.json_path));
+}
+
+TEST(SvcExecutorTest, OutOfOrderCheckpointAppendsRestoreIdentically) {
+  // The parallel executor appends checkpoints in completion order, which
+  // may interleave arbitrarily.  Simulate the worst case — every point
+  // appended in reverse — and verify the loader + artifact writer produce
+  // the same bytes as the in-order sequential run.
+  ScratchDir in_order_dir("inorder"), reversed_dir("reversed");
+  const exp::SpecRunOptions options = small_options(in_order_dir.str());
+  const exp::SpecRunResult sequential = exp::run_spec(test_spec(), options);
+  ASSERT_TRUE(sequential.complete);
+
+  const exp::Sweep sweep = to_sweep(test_spec(), options.alpha);
+  exp::SpecRunOptions reversed_options = small_options(reversed_dir.str());
+  const std::string fingerprint = sequential.fingerprint;
+  const std::string checkpoint_path =
+      exp::checkpoint_path_for(reversed_options, test_spec());
+  {
+    exp::CheckpointWriter writer(checkpoint_path, test_spec().name,
+                                 fingerprint, sweep.points.size(), false);
+    for (std::size_t i = sweep.points.size(); i-- > 0;) {
+      writer.append(exp::run_checkpointed_point(
+          sweep, i, reversed_options, fingerprint,
+          exp::PointCapture::kRegistrySnapshot));
+    }
+  }
+  // Resuming from the reversed checkpoint finds every point done and only
+  // writes artifacts.
+  const exp::SpecRunResult restored =
+      run_spec_parallel(test_spec(), reversed_options, 2);
+  ASSERT_TRUE(restored.complete);
+  EXPECT_EQ(restored.resumed_points, sweep.points.size());
+  EXPECT_EQ(read_file(sequential.json_path), read_file(restored.json_path));
+  EXPECT_EQ(read_file(sequential.csv_path), read_file(restored.csv_path));
+}
+
+TEST(SvcExecutorTest, RunSweepParallelMatchesRunSweepBitExact) {
+  const exp::SweepSpec& spec = test_spec();
+  const exp::Sweep sweep = to_sweep(spec, exp::kDefaultAlpha);
+  exp::RunOptions options;
+  options.trials = 10;
+  options.seed = 3;
+  const exp::SweepResult sequential = run_sweep(sweep, options);
+  const exp::SweepResult parallel = run_sweep_parallel(sweep, options, 4);
+
+  ASSERT_EQ(sequential.points.size(), parallel.points.size());
+  for (std::size_t p = 0; p < sequential.points.size(); ++p) {
+    const exp::PointResult& a = sequential.points[p];
+    const exp::PointResult& b = parallel.points[p];
+    EXPECT_EQ(a.x, b.x);
+    ASSERT_EQ(a.schemes.size(), b.schemes.size());
+    for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+      EXPECT_EQ(a.schemes[s].schedulable, b.schemes[s].schedulable);
+      EXPECT_EQ(a.schemes[s].u_sys.mean(), b.schemes[s].u_sys.mean());
+      EXPECT_EQ(a.schemes[s].u_sys.m2(), b.schemes[s].u_sys.m2());
+      EXPECT_EQ(a.schemes[s].imbalance.mean(), b.schemes[s].imbalance.mean());
+      EXPECT_EQ(a.schemes[s].probes.mean(), b.schemes[s].probes.mean());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::svc

@@ -1,0 +1,201 @@
+// Wire-protocol framing: request round-trips, malformed-input rejection,
+// lazy body validation, and response JSON shape.
+#include "mcs/svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/exp/paper_params.hpp"
+#include "mcs/gen/taskset_generator.hpp"
+
+namespace mcs::svc {
+namespace {
+
+AnalysisRequest sample_request(std::uint64_t trial = 0) {
+  gen::GenParams params = exp::default_gen_params();
+  params.num_tasks = 16;
+  return AnalysisRequest{"CA-TPA(a=0.5)", 6, 0.55,
+                         gen::generate_trial(params, 21, trial)};
+}
+
+TEST(ProtocolTest, AnalyzeRequestRoundTrips) {
+  const AnalysisRequest request = sample_request();
+  std::ostringstream wire;
+  write_analyze_request(wire, 17, request);
+
+  std::istringstream in(wire.str());
+  const std::optional<Request> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, Request::Kind::kAnalyze);
+  EXPECT_EQ(parsed->id, 17u);
+  ASSERT_TRUE(parsed->analyze.has_value());
+  EXPECT_EQ(parsed->analyze->scheme_spec, "CA-TPA(a=0.5)");
+  EXPECT_EQ(parsed->analyze->num_cores, 6u);
+  EXPECT_DOUBLE_EQ(parsed->analyze->alpha, 0.55);
+
+  const AnalysisRequest back = parse_analyze(*parsed->analyze);
+  EXPECT_EQ(back.taskset.size(), request.taskset.size());
+  // Full reconstruction is exact: re-serializing yields identical bytes
+  // (io:: writes doubles at round-trip precision).
+  std::ostringstream wire_again;
+  write_analyze_request(wire_again, 17, back);
+  EXPECT_EQ(wire.str(), wire_again.str());
+}
+
+TEST(ProtocolTest, CommandRequestsRoundTrip) {
+  for (const Request::Kind kind :
+       {Request::Kind::kPing, Request::Kind::kStats, Request::Kind::kShutdown}) {
+    std::ostringstream wire;
+    write_command(wire, 3, kind);
+    std::istringstream in(wire.str());
+    const std::optional<Request> parsed = read_request(in);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, kind);
+    EXPECT_EQ(parsed->id, 3u);
+    EXPECT_FALSE(parsed->analyze.has_value());
+  }
+}
+
+TEST(ProtocolTest, CleanEofReturnsNullopt) {
+  std::istringstream empty("");
+  EXPECT_FALSE(read_request(empty).has_value());
+  std::istringstream blank("\n\n\n");
+  EXPECT_FALSE(read_request(blank).has_value());
+}
+
+TEST(ProtocolTest, BlankLinesBetweenRequestsAreSkipped) {
+  std::istringstream in("\n\nmcs-serve/1 9 ping\n");
+  const std::optional<Request> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, Request::Kind::kPing);
+}
+
+TEST(ProtocolTest, MalformedFramingThrows) {
+  const char* bad[] = {
+      "GET / HTTP/1.1\n",                      // wrong magic
+      "mcs-serve/1 notanid ping\n",            // non-numeric id
+      "mcs-serve/1 1 frobnicate\n",            // unknown verb
+      "mcs-serve/1 1 analyze CA-TPA\n",        // missing cores/alpha
+      "mcs-serve/1 1 analyze CA-TPA x 0.7\nend\n",  // non-numeric cores
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_request(in), ProtocolError) << text;
+  }
+}
+
+TEST(ProtocolTest, MissingEndTerminatorThrows) {
+  std::ostringstream wire;
+  write_analyze_request(wire, 1, sample_request());
+  std::string text = wire.str();
+  text.resize(text.size() - 4);  // chop the trailing "end\n"
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_request(in), ProtocolError);
+}
+
+TEST(ProtocolTest, BodyValidationIsLazy) {
+  // A framed request with a garbage body reads fine (the fast path never
+  // parses it); only parse_analyze rejects it.
+  std::istringstream in(
+      "mcs-serve/1 4 analyze FFD 4 0.7\n"
+      "this is not a task set\n"
+      "end\n");
+  const std::optional<Request> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->analyze.has_value());
+  EXPECT_THROW((void)parse_analyze(*parsed->analyze), ProtocolError);
+}
+
+TEST(ProtocolTest, BackToBackRequestsShareOneStream) {
+  const AnalysisRequest request = sample_request();
+  std::ostringstream wire;
+  write_analyze_request(wire, 1, request);
+  write_command(wire, 2, Request::Kind::kStats);
+  write_analyze_request(wire, 3, request);
+
+  std::istringstream in(wire.str());
+  const std::optional<Request> first = read_request(in);
+  const std::optional<Request> second = read_request(in);
+  const std::optional<Request> third = read_request(in);
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(first->kind, Request::Kind::kAnalyze);
+  EXPECT_EQ(second->kind, Request::Kind::kStats);
+  EXPECT_EQ(third->kind, Request::Kind::kAnalyze);
+  EXPECT_EQ(third->id, 3u);
+  ASSERT_TRUE(third->analyze.has_value());
+  EXPECT_EQ(first->analyze->canonical, third->analyze->canonical);
+  EXPECT_FALSE(read_request(in).has_value());
+}
+
+TEST(ProtocolTest, ResponsesAreSingleLineJson) {
+  AnalysisResult result;
+  result.success = true;
+  result.probes = 12;
+  result.u_sys = 0.75;
+  result.u_avg = 0.7;
+  result.imbalance = 0.03;
+  result.partition_text = "K 2\ncore 0\n";
+
+  const util::Json analysis = analysis_response(8, 0xdeadbeefu, false, result);
+  const std::string dumped = analysis.dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  const util::Json back = util::Json::parse(dumped);
+  EXPECT_EQ(back.at("id").as_u64(), 8u);
+  EXPECT_TRUE(back.at("ok").as_bool());
+  EXPECT_FALSE(back.at("cached").as_bool());
+  EXPECT_TRUE(back.at("success").as_bool());
+  EXPECT_EQ(back.at("probes").as_u64(), 12u);
+  EXPECT_EQ(back.at("fingerprint").as_string(), "00000000deadbeef");
+  EXPECT_DOUBLE_EQ(back.at("u_sys").as_double(), 0.75);
+  EXPECT_EQ(back.at("partition").as_string(), "K 2\ncore 0\n");
+
+  AnalysisResult failed;
+  failed.success = false;
+  failed.failed_task = 7;
+  failed.probes = 3;
+  const util::Json fail_json =
+      util::Json::parse(analysis_response(9, 1, false, failed).dump());
+  EXPECT_FALSE(fail_json.at("success").as_bool());
+  EXPECT_EQ(fail_json.at("failed_task").as_u64(), 7u);
+  EXPECT_EQ(fail_json.find("u_sys"), nullptr);
+
+  const util::Json pong = util::Json::parse(pong_response(2).dump());
+  EXPECT_TRUE(pong.at("pong").as_bool());
+
+  CacheStats stats;
+  stats.hits = 5;
+  stats.misses = 2;
+  stats.capacity = 16;
+  const util::Json st = util::Json::parse(stats_response(3, stats, 7).dump());
+  EXPECT_EQ(st.at("requests").as_u64(), 7u);
+  EXPECT_EQ(st.at("cache").at("hits").as_u64(), 5u);
+  EXPECT_EQ(st.at("cache").at("capacity").as_u64(), 16u);
+
+  const util::Json err = util::Json::parse(error_response(4, "boom").dump());
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").as_string(), "boom");
+}
+
+TEST(ProtocolTest, CachedResponseIsByteIdenticalToColdModuloFlag) {
+  // The selftest's warm-pass equality check in one spot: the response
+  // builder output depends only on (id, fingerprint, result) — serving the
+  // stored result reproduces the cold bytes except for the cached flag.
+  AnalysisResult result;
+  result.success = true;
+  result.probes = 4;
+  result.u_sys = 1.0 / 3.0;
+  result.u_avg = 2.0 / 7.0;
+  result.imbalance = 1e-9;
+  result.partition_text = "K 1\n";
+  const std::string cold = analysis_response(5, 99, false, result).dump();
+  const std::string warm = analysis_response(5, 99, true, result).dump();
+  std::string warm_flag_flipped = warm;
+  const std::size_t at = warm_flag_flipped.find("\"cached\":true");
+  ASSERT_NE(at, std::string::npos);
+  warm_flag_flipped.replace(at, 13, "\"cached\":false");
+  EXPECT_EQ(cold, warm_flag_flipped);
+}
+
+}  // namespace
+}  // namespace mcs::svc

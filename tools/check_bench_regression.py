@@ -7,8 +7,18 @@ Usage:
         BENCH_sim.json:build/BENCH_sim_ci.json \
         BENCH_probe.json:build/BENCH_probe_ci.json
 
+    tools/check_bench_regression.py --discover FRESH_DIR [--baseline-dir .]
+
 Each positional argument is a baseline:fresh pair of bench JSON files (as
-written by bench_sim_engine / bench_probe --out).  Only the dimensionless
+written by bench_sim_engine / bench_probe / mcs_serve --selftest --out).
+
+--discover removes the need to enumerate pairs by hand: every committed
+BENCH_*.json in --baseline-dir (the repo root by default) is gated against
+FRESH_DIR/BENCH_*_ci.json, and a baseline whose fresh counterpart is missing
+is an error -- so adding a new committed BENCH_ file without teaching CI to
+regenerate it fails loudly instead of silently going ungated.
+
+Only the dimensionless
 speedup ratios are compared -- the aggregate and the per-size entries --
 because absolute ns/op numbers are machine-dependent while fast-vs-reference
 (or batched-vs-scalar) ratios on the same machine are not.  A fresh ratio may
@@ -21,7 +31,9 @@ unreadable/mismatched inputs.  Stdlib only.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
@@ -45,6 +57,28 @@ def ratios(doc, path):
     return out
 
 
+def discover_pairs(baseline_dir, fresh_dir):
+    """BASELINE:FRESH pairs for every committed BENCH_*.json.
+
+    BENCH_foo.json gates against FRESH_DIR/BENCH_foo_ci.json (the naming
+    the CI bench-smoke steps already use).
+    """
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    baselines = [p for p in baselines if not p.endswith("_ci.json")]
+    if not baselines:
+        sys.exit(f"check_bench_regression: no BENCH_*.json in {baseline_dir}")
+    pairs = []
+    for baseline in baselines:
+        stem = os.path.basename(baseline)[:-len(".json")]
+        fresh = os.path.join(fresh_dir, stem + "_ci.json")
+        if not os.path.exists(fresh):
+            sys.exit(f"check_bench_regression: {baseline} is committed but "
+                     f"{fresh} was not generated -- every committed bench "
+                     "baseline must be regenerated and gated")
+        pairs.append(f"{baseline}:{fresh}")
+    return pairs
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail when fresh bench speedups regress vs committed "
@@ -53,15 +87,27 @@ def main():
         "--tolerance", type=float, default=0.25,
         help="allowed fractional drop below baseline (default 0.25)")
     parser.add_argument(
-        "pairs", nargs="+", metavar="BASELINE:FRESH",
+        "--discover", metavar="FRESH_DIR",
+        help="gate every BENCH_*.json in --baseline-dir against "
+        "FRESH_DIR/BENCH_*_ci.json instead of explicit pairs")
+    parser.add_argument(
+        "--baseline-dir", default=".",
+        help="where committed BENCH_*.json baselines live (default .)")
+    parser.add_argument(
+        "pairs", nargs="*", metavar="BASELINE:FRESH",
         help="baseline and fresh bench JSON paths, colon-separated")
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         sys.exit("check_bench_regression: --tolerance must be in [0, 1)")
+    if bool(args.discover) == bool(args.pairs):
+        sys.exit("check_bench_regression: pass either --discover FRESH_DIR "
+                 "or explicit BASELINE:FRESH pairs")
+    pairs = discover_pairs(args.baseline_dir, args.discover) \
+        if args.discover else args.pairs
 
     rows = []
     failed = False
-    for pair in args.pairs:
+    for pair in pairs:
         baseline_path, sep, fresh_path = pair.partition(":")
         if not sep or not fresh_path:
             sys.exit(f"check_bench_regression: malformed pair '{pair}' "

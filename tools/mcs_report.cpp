@@ -65,12 +65,29 @@ int main(int argc, char** argv) {
 
     // Load every referenced artifact (and trace summary) once.  Blocks
     // named "trace:<name>" render from <artifacts>/<name>.trace_summary.json
-    // instead of a sweep artifact.
+    // instead of a sweep artifact; blocks named "serve:<stem>" render from
+    // <stem>.json next to the doc (the committed BENCH_serve.json).
     std::map<std::string, exp::Artifact> artifacts;
     std::map<std::string, obs::TraceSummary> summaries;
     std::map<std::string, std::string> summary_files;
+    std::map<std::string, util::Json> serve_benches;
     for (const std::string& block : blocks) {
       const auto [spec, metric] = split_block_name(block);
+      if (spec == "serve") {
+        if (serve_benches.count(metric) != 0) continue;
+        const std::string path = metric + ".json";
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "mcs_report: block '" << block
+                    << "' needs missing bench file " << path
+                    << " (run mcs_serve --selftest --out " << path << ")\n";
+          return 2;
+        }
+        const std::string text{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+        serve_benches.emplace(metric, util::Json::parse(text));
+        continue;
+      }
       if (spec == "trace") {
         if (summaries.count(metric) != 0) continue;
         const std::string file = metric + ".trace_summary.json";
@@ -104,6 +121,10 @@ int main(int argc, char** argv) {
     const std::string rendered =
         exp::replace_blocks(doc, [&](const std::string& block) {
           const auto [spec, metric] = split_block_name(block);
+          if (spec == "serve") {
+            return exp::render_serve_block(serve_benches.at(metric),
+                                           metric + ".json");
+          }
           if (spec == "trace") {
             return exp::render_trace_block(summaries.at(metric),
                                            summary_files.at(metric));

@@ -23,17 +23,38 @@ double step_demand(double t, double d, double period, double c) {
 /// Each entry of `curves` is (deadline, period, cost).
 std::optional<double> first_violation(
     const std::vector<std::array<double, 3>>& curves, double bound) {
-  // Collect all step points <= bound.
-  std::vector<double> points;
-  for (const auto& [d, period, c] : curves) {
+  // Stream the step points in ascending order through a min-heap (one lane
+  // per curve) so the scan stops at the first violation without
+  // materializing and sorting the whole breakpoint list — rejections, the
+  // common case inside placement gates, usually violate early.
+  struct Lane {
+    double next;
+    std::size_t curve;
+  };
+  const auto later = [](const Lane& a, const Lane& b) {
+    return a.next > b.next;
+  };
+  std::vector<Lane> heap;
+  heap.reserve(curves.size());
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const auto& [d, period, c] = curves[i];
     if (c <= 0.0) continue;
-    for (double p = d; p <= bound + 1e-9; p += period) {
-      points.push_back(p);
-    }
+    if (d <= bound + 1e-9) heap.push_back({d, i});
   }
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
-  for (double t : points) {
+  std::make_heap(heap.begin(), heap.end(), later);
+  double last = -1.0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Lane lane = heap.back();
+    heap.pop_back();
+    const double t = lane.next;
+    lane.next += curves[lane.curve][1];
+    if (lane.next <= bound + 1e-9) {
+      heap.push_back(lane);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+    if (t == last) continue;  // duplicate step across lanes
+    last = t;
     double demand = 0.0;
     for (const auto& [d, period, c] : curves) {
       demand += step_demand(t, d, period, c);

@@ -84,6 +84,29 @@ std::vector<SweepSpec> build_specs() {
       "a4", "Ablation A4 - test strength",
       {"FFD/eq4", "FFD", "WFD/eq4", "WFD"}));
 
+  // Head-to-head panels racing the retrieved competitor schemes against
+  // CA-TPA (see ALGORITHMS.md).  H1 runs the utilization-difference
+  // partitioner on the paper's K=4 workload; H2 drops to dual-criticality,
+  // where the demand-bound gates (DBF, GE) are defined, and races the gate
+  // strengths.
+  specs.push_back(ablation_spec(
+      "h1", "Head-to-head H1 - utilization-difference partitioning (K=4)",
+      {"CA-TPA", "UD-TPA", "UD-TPA/eq4", "WFD", "FFD"}));
+  SweepSpec h2 = ablation_spec(
+      "h2", "Head-to-head H2 - dual-criticality acceptance gates (K=2)",
+      {"CA-TPA", "UD-TPA", "UD-TPA/ge", "GE-FFD", "DBF-FFD"});
+  h2.base.num_levels = 2;
+  // The demand-bound gates scan breakpoint lists per probe, so this panel
+  // runs a smaller platform than the utilization-based ones: M=4 and a
+  // fixed N keep a full sweep affordable while the gate ranking is already
+  // visible at this scale.
+  h2.base.num_cores = 4;
+  h2.base.num_tasks = 48;
+  // The K=2 platform saturates later than the K=4 one, and the gate
+  // strengths only separate near saturation — sweep the upper NSU range.
+  h2.values = {0.6, 0.7, 0.8, 0.85, 0.9, 0.95};
+  specs.push_back(std::move(h2));
+
   return specs;
 }
 

@@ -48,8 +48,9 @@ struct SweepSpec {
   bool share_workloads_across_points = false;
 };
 
-/// The builtin specs: the paper's five figures ("fig1".."fig5") and the
-/// CA-TPA ablations ("a1".."a4").
+/// The builtin specs: the paper's five figures ("fig1".."fig5"), the
+/// CA-TPA ablations ("a1".."a4"), and the competitor head-to-heads
+/// ("h1".."h2").
 [[nodiscard]] const std::vector<SweepSpec>& builtin_specs();
 
 /// Looks up a builtin spec by name (case-insensitive); nullptr if unknown.

@@ -79,17 +79,20 @@ PlacementOutcome FpAmcPartitioner::run_on(
   return outcome;
 }
 
+// The default configuration (first-fit + DM) is the registry's "FP-AMC" and
+// must render as exactly that string (the name() == spec invariant the docs
+// tooling and artifact provenance rely on); non-default variants carry
+// their fit-rule / OPA suffixes.
 std::string FpAmcPartitioner::name() const {
   std::string base = "FP-AMC";
   switch (rule_) {
     case FitRule::kFirst:
-      base = "FP-AMC/FF";
       break;
     case FitRule::kBest:
-      base = "FP-AMC/BF";
+      base += "/BF";
       break;
     case FitRule::kWorst:
-      base = "FP-AMC/WF";
+      base += "/WF";
       break;
   }
   if (assignment_ == PriorityAssignment::kAudsley) base += "/OPA";

@@ -1,0 +1,30 @@
+// GE-gated first-fit partitioner for dual-criticality systems: classical
+// FFD ordering, but a core accepts a task iff the credited demand-bound
+// test of analysis/ge_test.hpp (in the spirit of Gu & Easwaran, arXiv
+// 2003.05160) still passes.  The head-to-head counterpart of DBF-FFD with
+// the strictly tighter per-core gate.
+#pragma once
+
+#include "mcs/analysis/ge_test.hpp"
+#include "mcs/partition/partitioner.hpp"
+
+namespace mcs::partition {
+
+class GeFfdPartitioner final : public Partitioner {
+ public:
+  explicit GeFfdPartitioner(analysis::GeOptions options = {})
+      : options_(options) {}
+
+  /// Requires ts.num_levels() == 2; throws std::invalid_argument otherwise.
+  [[nodiscard]] PlacementOutcome run_on(
+      analysis::PlacementEngine& engine) const override;
+  [[nodiscard]] std::string name() const override { return "GE-FFD"; }
+
+  /// The accepted per-task deadline scales of the last successful run are
+  /// not stored (the partitioner is stateless); re-derive them with
+  /// analysis::ge_dual_test on each core's subset.
+ private:
+  analysis::GeOptions options_;
+};
+
+}  // namespace mcs::partition

@@ -4,6 +4,8 @@
 
 #include "mcs/partition/dbf_ffd.hpp"
 #include "mcs/partition/fp_amc.hpp"
+#include "mcs/partition/ge_ffd.hpp"
+#include "mcs/partition/ud_tpa.hpp"
 
 namespace mcs::partition {
 
@@ -44,6 +46,12 @@ std::unique_ptr<Partitioner> make_scheme(const std::string& name,
   }
   if (name == "DBF-FFD") {
     return std::make_unique<DbfFfdPartitioner>();
+  }
+  if (name == "UD-TPA") {
+    return std::make_unique<UdTpaPartitioner>();
+  }
+  if (name == "GE-FFD") {
+    return std::make_unique<GeFfdPartitioner>();
   }
   throw std::invalid_argument("make_scheme: unknown scheme '" + name + "'");
 }
@@ -115,6 +123,12 @@ std::unique_ptr<Partitioner> make_scheme_spec(const std::string& spec,
     return std::make_unique<ClassicPartitioner>(FitRule::kBest,
                                                 TestStrength::kBasicOnly);
   }
+  if (spec == "UD-TPA/eq4") {
+    return std::make_unique<UdTpaPartitioner>(UdGate::kEq4);
+  }
+  if (spec == "UD-TPA/ge") {
+    return std::make_unique<UdTpaPartitioner>(UdGate::kGe);
+  }
   if (spec == "CA-TPA/noBal") {
     return std::make_unique<CaTpaPartitioner>(
         CaTpaOptions{.alpha = alpha, .use_imbalance_control = false});
@@ -123,6 +137,15 @@ std::unique_ptr<Partitioner> make_scheme_spec(const std::string& spec,
     return make_catpa_spec(spec, spec.substr(7, spec.size() - 8), alpha);
   }
   return make_scheme(spec, alpha);
+}
+
+const std::vector<std::string>& registered_scheme_specs() {
+  static const std::vector<std::string> specs = {
+      "WFD",      "FFD",        "BFD",       "Hybrid",       "CA-TPA",
+      "CA-TPA-R", "FP-AMC",     "DBF-FFD",   "UD-TPA",       "GE-FFD",
+      "WFD/eq4",  "FFD/eq4",    "BFD/eq4",   "UD-TPA/eq4",   "UD-TPA/ge",
+      "CA-TPA/noBal"};
+  return specs;
 }
 
 PartitionerList make_scheme_list(const std::vector<std::string>& specs,

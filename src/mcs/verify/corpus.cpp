@@ -102,7 +102,9 @@ CheckResult replay(const CorpusCase& c) {
     return check_engine_parity(c.ts, c.meta.num_cores, c.meta.seed);
   }
   // Soundness: re-partition with the accepting scheme and re-run the oracle.
-  const auto scheme = partition::make_scheme(c.meta.scheme);
+  // Scheme names are grammar spec strings (slash-forms like "UD-TPA/ge"
+  // included), so resolve through make_scheme_spec.
+  const auto scheme = partition::make_scheme_spec(c.meta.scheme);
   const partition::PartitionResult result =
       scheme->run(c.ts, c.meta.num_cores);
   if (!result.success) {

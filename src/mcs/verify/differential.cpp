@@ -11,6 +11,7 @@
 #include "mcs/analysis/core_util.hpp"
 #include "mcs/analysis/dbf.hpp"
 #include "mcs/analysis/edfvd.hpp"
+#include "mcs/analysis/ge_test.hpp"
 #include "mcs/analysis/placement.hpp"
 #include "mcs/gen/rng.hpp"
 #include "mcs/io/taskset_io.hpp"
@@ -204,10 +205,12 @@ CheckResult check_test_dominance(const TaskSet& ts, std::uint64_t seed) {
   // The whole set first, then random subsets.
   for (std::size_t round = 0; round < 16; ++round) {
     UtilMatrix m(ts.num_levels());
+    std::vector<std::size_t> picked_members;
     std::size_t picked = 0;
     for (std::size_t i = 0; i < ts.size(); ++i) {
       if (round == 0 || rng.bernoulli(0.4)) {
         m.add(ts[i]);
+        picked_members.push_back(i);
         ++picked;
       }
     }
@@ -227,6 +230,19 @@ CheckResult check_test_dominance(const TaskSet& ts, std::uint64_t seed) {
          << "-task dual-criticality subset (round " << round << ")";
       return fail(os.str());
     }
+    // The GE test's credited curves lower-bound the dbf.hpp curves at equal
+    // scales and its candidate list is a superset, so every DBF acceptance
+    // must be a GE acceptance.  The demand scans are costly, so only the
+    // first few rounds race them.
+    if (ts.num_levels() == 2 && round < 4) {
+      if (analysis::dbf_dual_test(ts, picked_members).schedulable &&
+          !analysis::ge_dual_test(ts, picked_members).schedulable) {
+        std::ostringstream os;
+        os << "dominance: the DBF test accepts a " << picked
+           << "-task subset the GE test rejects (round " << round << ")";
+        return fail(os.str());
+      }
+    }
   }
   return {};
 }
@@ -234,14 +250,16 @@ CheckResult check_test_dominance(const TaskSet& ts, std::uint64_t seed) {
 CheckResult check_scheme_claims(const TaskSet& ts, std::size_t num_cores) {
   // The EDF-VD line-up: claimed success means every core passes the gating
   // Eq.(4)-or-Theorem-1 test recomputed from scratch.
-  std::vector<std::string> names = {"WFD",    "FFD",     "BFD",
-                                    "Hybrid", "CA-TPA",  "CA-TPA-R"};
+  std::vector<std::string> names = {"WFD",      "FFD",    "BFD",   "Hybrid",
+                                    "CA-TPA",   "CA-TPA-R", "UD-TPA"};
   if (ts.num_levels() == 2) {
     names.emplace_back("FP-AMC");
     names.emplace_back("DBF-FFD");
+    names.emplace_back("GE-FFD");
+    names.emplace_back("UD-TPA/ge");
   }
   for (const std::string& name : names) {
-    const auto scheme = partition::make_scheme(name);
+    const auto scheme = partition::make_scheme_spec(name);
     const partition::PartitionResult result = scheme->run(ts, num_cores);
     if (!result.success) {
       if (result.partition.complete()) {
@@ -277,6 +295,8 @@ CheckResult check_scheme_claims(const TaskSet& ts, std::size_t num_cores) {
         core_ok = analysis::amc_rtb_test(ts, members).schedulable;
       } else if (name == "DBF-FFD") {
         core_ok = analysis::dbf_dual_test(ts, members).schedulable;
+      } else if (name == "GE-FFD" || name == "UD-TPA/ge") {
+        core_ok = analysis::ge_dual_test(ts, members).schedulable;
       } else {
         const UtilMatrix m_scratch = rebuild(ts, members);
         core_ok = analysis::basic_test(m_scratch) ||

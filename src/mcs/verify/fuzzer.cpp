@@ -41,11 +41,13 @@ TrialParams draw_params(std::uint64_t seed, std::uint64_t trial) {
   p.gp.nsu = rng.uniform(0.35, 0.95);
   p.gp.ifc = rng.uniform(0.2, 1.0);
   p.gp.period_classes = {{{10.0, 40.0}, {20.0, 60.0}, {40.0, 80.0}}};
-  std::vector<std::string> pool = {"CA-TPA", "CA-TPA-R", "FFD",
-                                   "BFD",    "WFD",      "Hybrid"};
+  std::vector<std::string> pool = {"CA-TPA", "CA-TPA-R", "FFD",   "BFD",
+                                   "WFD",    "Hybrid",   "UD-TPA"};
   if (p.gp.num_levels == 2) {
     pool.emplace_back("FP-AMC");
     pool.emplace_back("DBF-FFD");
+    pool.emplace_back("GE-FFD");
+    pool.emplace_back("UD-TPA/ge");
   }
   p.scheme = pool[rng.uniform_int(0, pool.size() - 1)];
   // Integral periods open the exact-hyperperiod oracle family.
@@ -94,7 +96,7 @@ std::string check_case(FuzzTarget target, const FuzzCase& c,
       return r.ok ? std::string() : r.detail;
     }
     case FuzzTarget::kSoundness: {
-      const auto partitioner = partition::make_scheme(scheme);
+      const auto partitioner = partition::make_scheme_spec(scheme);
       const partition::PartitionResult result =
           partitioner->run(c.ts, c.num_cores);
       if (!result.success) return {};  // nothing was promised

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "mcs/analysis/dbf.hpp"
+#include "mcs/analysis/ge_test.hpp"
 #include "mcs/gen/rng.hpp"
 #include "mcs/verify/scenarios.hpp"
 
@@ -151,6 +152,22 @@ OracleOptions options_for_scheme(const std::string& scheme,
       if (!r.schedulable) continue;  // the claims checker flags this case
       for (const std::size_t t : members) {
         if (ts[t].level() == 2) opts.dual_scales[t] = r.scale;
+      }
+    }
+  }
+  if (scheme == "GE-FFD" || scheme == "UD-TPA/ge") {
+    // The GE acceptance is tied to the per-task deadline scales it tuned;
+    // re-derive them per core (the test is deterministic, so this matches
+    // what the partitioner's final accept of each core chose).
+    const TaskSet& ts = partition.taskset();
+    opts.dual_scales.assign(ts.size(), 1.0);
+    for (std::size_t m = 0; m < partition.num_cores(); ++m) {
+      const auto& members = partition.tasks_on(m);
+      if (members.empty()) continue;
+      const analysis::GeResult r = analysis::ge_dual_test(ts, members);
+      if (!r.schedulable) continue;  // the claims checker flags this case
+      for (const std::size_t t : members) {
+        if (ts[t].level() == 2) opts.dual_scales[t] = r.scales[t];
       }
     }
   }

@@ -49,7 +49,7 @@ RunOptions small_run() { return {.trials = 40, .seed = 1, .threads = 2}; }
 TEST(SpecRegistryTest, BuiltinSpecsAreComplete) {
   const std::vector<std::string> expected{"fig1", "fig2", "fig3", "fig4",
                                           "fig5", "a1",   "a2",   "a3",
-                                          "a4"};
+                                          "a4",   "h1",   "h2"};
   ASSERT_EQ(builtin_specs().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(builtin_specs()[i].name, expected[i]);

@@ -10,7 +10,9 @@ namespace mcs::partition {
 namespace {
 
 TEST(FpAmcTest, Names) {
-  EXPECT_EQ(FpAmcPartitioner(FitRule::kFirst).name(), "FP-AMC/FF");
+  // The default (first-fit + DM) is the registry's "FP-AMC" and must render
+  // as exactly that spec string; variants carry suffixes.
+  EXPECT_EQ(FpAmcPartitioner(FitRule::kFirst).name(), "FP-AMC");
   EXPECT_EQ(FpAmcPartitioner(FitRule::kBest).name(), "FP-AMC/BF");
   EXPECT_EQ(FpAmcPartitioner(FitRule::kWorst).name(), "FP-AMC/WF");
 }
@@ -70,7 +72,7 @@ TEST(FpAmcTest, ReportsFailure) {
 TEST(FpAmcTest, OpaNameAndDominance) {
   EXPECT_EQ(FpAmcPartitioner(FitRule::kFirst, PriorityAssignment::kAudsley)
                 .name(),
-            "FP-AMC/FF/OPA");
+            "FP-AMC/OPA");
   gen::GenParams params;
   params.num_levels = 2;
   params.num_cores = 2;

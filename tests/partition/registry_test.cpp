@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace mcs::partition {
 namespace {
 
@@ -23,8 +25,27 @@ TEST(RegistryTest, AlphaReachesCaTpa) {
 }
 
 TEST(RegistryTest, MakeSchemeByName) {
-  for (const char* name : {"WFD", "FFD", "BFD", "Hybrid", "CA-TPA"}) {
+  for (const char* name : {"WFD", "FFD", "BFD", "Hybrid", "CA-TPA", "CA-TPA-R",
+                           "FP-AMC", "DBF-FFD", "UD-TPA", "GE-FFD"}) {
     EXPECT_EQ(make_scheme(name)->name(), name);
+  }
+}
+
+// The docs tooling (mcs_report --list-schemes, the ALGORITHMS.md coverage
+// check) and the spec round-trip property test all rely on this invariant:
+// every registered spec string builds, and builds a scheme whose display
+// name is the spec itself.
+TEST(RegistryTest, RegisteredSpecsRoundTripThroughTheirNames) {
+  const std::vector<std::string>& specs = registered_scheme_specs();
+  ASSERT_GE(specs.size(), 16u);
+  for (const std::string& spec : specs) {
+    EXPECT_EQ(make_scheme_spec(spec)->name(), spec);
+  }
+  // The competitor schemes must be enumerable, or the head-to-head sweeps
+  // and their documentation would silently drop them.
+  for (const char* wanted : {"UD-TPA", "UD-TPA/eq4", "UD-TPA/ge", "GE-FFD"}) {
+    EXPECT_NE(std::find(specs.begin(), specs.end(), wanted), specs.end())
+        << wanted << " missing from registered_scheme_specs()";
   }
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Docs-coverage gate: every enumerable scheme of the partition grammar
+# (mcs_report --list-schemes) must have a backticked heading in
+# ALGORITHMS.md, e.g.
+#
+#   ### `UD-TPA/ge`
+#
+# so adding a scheme to the registry without documenting it fails CI.
+#
+#   usage: tools/check_scheme_docs.sh [path/to/mcs_report] [ALGORITHMS.md]
+set -u
+
+report="${1:-build/tools/mcs_report}"
+doc="${2:-ALGORITHMS.md}"
+
+if [[ ! -x "$report" ]]; then
+  echo "check_scheme_docs: mcs_report not found at $report" >&2
+  exit 2
+fi
+if [[ ! -f "$doc" ]]; then
+  echo "check_scheme_docs: doc not found at $doc" >&2
+  exit 2
+fi
+
+schemes="$("$report" --list-schemes)" || {
+  echo "check_scheme_docs: $report --list-schemes failed" >&2
+  exit 2
+}
+
+missing=0
+count=0
+while IFS= read -r scheme; do
+  [[ -z "$scheme" ]] && continue
+  count=$((count + 1))
+  # A heading line containing the exact backticked scheme name.  The
+  # backticks delimit the match, so `UD-TPA` does not match `UD-TPA/ge`;
+  # the fixed-string grep keeps grammar names free of regex surprises.
+  if ! grep '^#' "$doc" | grep -Fq "\`${scheme}\`"; then
+    echo "check_scheme_docs: scheme '$scheme' has no heading in $doc" >&2
+    missing=$((missing + 1))
+  fi
+done <<< "$schemes"
+
+if [[ "$count" -eq 0 ]]; then
+  echo "check_scheme_docs: --list-schemes printed nothing" >&2
+  exit 2
+fi
+if [[ "$missing" -gt 0 ]]; then
+  echo "check_scheme_docs: $missing of $count schemes undocumented" >&2
+  exit 1
+fi
+echo "check_scheme_docs: all $count schemes documented in $doc"

@@ -35,9 +35,20 @@ int main(int argc, char** argv) {
       argc, argv,
       {{"artifacts", "artifacts directory (default: artifacts)"},
        {"doc", "markdown file to render (default: EXPERIMENTS.md)"},
-       {"check", "verify the doc matches the artifacts; write nothing"}});
+       {"check", "verify the doc matches the artifacts; write nothing"},
+       {"list-schemes",
+        "print every enumerable scheme spec of the partition grammar "
+        "(one per line) and exit"}});
   if (cli.help_requested()) {
     std::cout << cli.usage("mcs_report");
+    return 0;
+  }
+  if (cli.has("list-schemes")) {
+    // The docs-coverage CI check (tools/check_scheme_docs.sh) diffs this
+    // list against the ALGORITHMS.md section headings.
+    for (const std::string& spec : partition::registered_scheme_specs()) {
+      std::cout << spec << '\n';
+    }
     return 0;
   }
   const std::string artifacts_dir =

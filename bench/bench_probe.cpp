@@ -1,9 +1,10 @@
 // bench_probe: latency of the batched all-cores placement probe vs. M
-// scalar probes on the same PlacementEngine state.
+// scalar probes on the same PlacementEngine state, and of the 2-D
+// task x core kernel vs. the 1-D batched loop.
 //
 //   bench_probe                  # full run, writes BENCH_probe.json
 //   bench_probe --quick          # CI smoke: fewer sweeps, 1 repetition
-//   bench_probe --min-speedup 1.0
+//   bench_probe --min-speedup 1.0 --min-speedup-2d 1.0
 //
 // Workload: K=4 criticality levels on M=8 cores (the paper's default
 // platform), N in {50, 100, 400} tasks.  Half the tasks are committed
@@ -12,16 +13,26 @@
 // the inner loop of CA-TPA's placement scan — with the default
 // min-over-feasible policy.  The scalar side issues M individual
 // PlacementEngine::probe calls per task; the batched side one
-// probe_all_cores call.  Both sides fold the same checksum over the
-// results in the same order, so the work cannot be optimized away and any
-// divergence is caught.
+// probe_all_cores call per task; the 2-D side ONE probe_all_cores_2d call
+// over the whole probe list per sweep — the partitioner-scan shape, where
+// the kernel tiles tasks (kBatchProbeTileTasks-major) and shares each
+// level's hypothetical-row materialization across the tile.  All sides
+// fold the same checksum over the results in the same (task, core) order,
+// so the work cannot be optimized away and any divergence is caught.
 //
 // Before timing, every probed task is checked bit-identical between the
-// two paths (feasible flag, new_util, increment, both accept masks), so a
-// published speedup can never come from a divergent kernel.  Exit is
-// nonzero when the aggregate batched/scalar throughput ratio falls below
-// --min-speedup (per-size times at the small end are microseconds and too
-// noisy to gate on individually).
+// scalar and batched paths (feasible flag, new_util, increment, both
+// accept masks), and the 2-D grid rows are checksum-gated bitwise against
+// the 1-D batched fold, so a published speedup can never come from a
+// divergent kernel.  Exit is nonzero when the aggregate batched/scalar
+// throughput ratio falls below --min-speedup, or the aggregate 2-D/1-D
+// ratio below --min-speedup-2d (per-size times at the small end are
+// microseconds and too noisy to gate on individually).
+//
+// The emitted JSON carries a "gate_tolerances" object consumed by
+// tools/check_bench_regression.py: per-ratio-label fractional tolerances
+// (with a "default" key) that replace the gate's single global knob —
+// small-N per-size ratios get a looser floor than the aggregates.
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -184,6 +195,39 @@ ProbeRun time_batched(analysis::PlacementEngine& engine,
   return best;
 }
 
+/// Same sweep through the 2-D kernel: one probe_all_cores_2d call over the
+/// whole probe list (the partitioner-scan shape).  The checksum folds the
+/// grid in the same (task, core) order as the 1-D loop, so it must be
+/// bit-identical to the batched checksum.
+ProbeRun time_batched_2d(analysis::PlacementEngine& engine,
+                         const std::vector<std::size_t>& tasks,
+                         std::size_t sweeps, std::size_t reps) {
+  std::vector<analysis::ProbeResult> grid(tasks.size() * kCores);
+  ProbeRun best;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    double checksum = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      engine.probe_all_cores_2d(
+          tasks, analysis::ProbePolicy::kMinOverFeasible, grid);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (std::size_t m = 0; m < kCores; ++m) {
+          const analysis::ProbeResult& r = grid[i * kCores + m];
+          if (r.feasible) checksum += r.new_util;
+        }
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < best.seconds) {
+      best.seconds = elapsed.count();
+      best.probes = static_cast<std::uint64_t>(sweeps * tasks.size() * kCores);
+      best.checksum = checksum;
+    }
+  }
+  return best;
+}
+
 /// Average cost of one *disabled* ScopedSpan — the relaxed-atomic gate
 /// check probe_all_cores pays per call when tracing is off.  Best of
 /// `reps` over `iters` construct/destroy pairs.
@@ -222,6 +266,9 @@ int main(int argc, char** argv) {
          {"min-speedup",
           "fail (exit 1) when the aggregate batched/scalar probe-throughput "
           "ratio falls below this (default 1.0)"},
+         {"min-speedup-2d",
+          "fail (exit 1) when the aggregate 2-D/1-D-batched throughput "
+          "ratio falls below this (default 1.0)"},
          {"sweeps", "probe passes per timed repetition (default 200)"}});
     if (cli.help_requested()) {
       std::cout << cli.usage("bench_probe");
@@ -231,6 +278,7 @@ int main(int argc, char** argv) {
     const std::string out_path =
         cli.get_or("out", std::string("BENCH_probe.json"));
     const double min_speedup = cli.get_or("min-speedup", 1.0);
+    const double min_speedup_2d = cli.get_or("min-speedup-2d", 1.0);
     const std::size_t sweeps = static_cast<std::size_t>(
         cli.get_or("sweeps", quick ? std::uint64_t{20} : std::uint64_t{200}));
     const std::size_t reps = quick ? 1 : 5;
@@ -247,10 +295,11 @@ int main(int argc, char** argv) {
     doc.set("quick", util::Json::boolean(quick));
     util::Json rows = util::Json::array();
 
-    util::Table table({"tasks", "probes", "scalar s", "batched s",
-                       "scalar ns/probe", "batched ns/probe", "speedup"});
+    util::Table table({"tasks", "probes", "scalar ns/p", "1d ns/p",
+                       "2d ns/p", "speedup", "speedup 2d"});
     double scalar_total_s = 0.0;
     double batched_total_s = 0.0;
+    double batched2d_total_s = 0.0;
 
     for (const std::size_t n : sizes) {
       const Workload w = make_workload(n);
@@ -268,23 +317,33 @@ int main(int argc, char** argv) {
           time_scalar(engine, w.probe_tasks, sweeps, reps);
       const ProbeRun batched =
           time_batched(engine, w.probe_tasks, sweeps, reps);
+      const ProbeRun batched2d =
+          time_batched_2d(engine, w.probe_tasks, sweeps, reps);
       if (!bits_equal(scalar.checksum, batched.checksum)) {
         std::cerr << "bench_probe: checksum divergence at N=" << n << "\n";
         return 1;
       }
+      if (!bits_equal(batched.checksum, batched2d.checksum)) {
+        std::cerr << "bench_probe: 2-D checksum divergence at N=" << n
+                  << "\n";
+        return 1;
+      }
       const double speedup =
           batched.seconds > 0.0 ? scalar.seconds / batched.seconds : 0.0;
+      const double speedup_2d =
+          batched2d.seconds > 0.0 ? batched.seconds / batched2d.seconds : 0.0;
       scalar_total_s += scalar.seconds;
       batched_total_s += batched.seconds;
+      batched2d_total_s += batched2d.seconds;
 
       table.begin_row();
       table.add_cell(n);
       table.add_cell(static_cast<std::size_t>(scalar.probes));
-      table.add_cell(scalar.seconds, 4);
-      table.add_cell(batched.seconds, 4);
       table.add_cell(scalar.ns_per_probe(), 1);
       table.add_cell(batched.ns_per_probe(), 1);
+      table.add_cell(batched2d.ns_per_probe(), 1);
       table.add_cell(speedup, 2);
+      table.add_cell(speedup_2d, 2);
 
       util::Json row = util::Json::object();
       row.set("tasks", util::Json::number(std::uint64_t{n}));
@@ -297,13 +356,33 @@ int main(int argc, char** argv) {
       batched_json.set("seconds", num(batched.seconds));
       batched_json.set("ns_per_probe", num(batched.ns_per_probe()));
       row.set("batched", std::move(batched_json));
+      util::Json batched2d_json = util::Json::object();
+      batched2d_json.set("seconds", num(batched2d.seconds));
+      batched2d_json.set("ns_per_probe", num(batched2d.ns_per_probe()));
+      row.set("batched2d", std::move(batched2d_json));
       row.set("speedup", num(speedup));
+      row.set("speedup_2d", num(speedup_2d));
       rows.push(std::move(row));
     }
     doc.set("sizes", std::move(rows));
     const double aggregate =
         batched_total_s > 0.0 ? scalar_total_s / batched_total_s : 0.0;
     doc.set("aggregate_speedup", num(aggregate));
+    const double aggregate_2d =
+        batched2d_total_s > 0.0 ? batched_total_s / batched2d_total_s : 0.0;
+    doc.set("aggregate_speedup_2d", num(aggregate_2d));
+
+    // Per-ratio regression-gate tolerances, read by
+    // tools/check_bench_regression.py: the aggregates are the stable
+    // headline numbers, while the N=50 sweeps finish in microseconds and
+    // need a looser floor on shared CI runners.
+    util::Json tol = util::Json::object();
+    tol.set("default", num(0.25));
+    tol.set("aggregate", num(0.20));
+    tol.set("aggregate/2d", num(0.20));
+    tol.set("tasks=50", num(0.35));
+    tol.set("tasks=50/2d", num(0.35));
+    doc.set("gate_tolerances", std::move(tol));
 
     // Disabled-tracing overhead gate: probe_all_cores carries one ScopedSpan
     // per call (kCores probes), so the relative cost of a disabled span is
@@ -328,6 +407,8 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\naggregate speedup (total scalar s / total batched s): "
               << aggregate << "\n";
+    std::cout << "aggregate 2-D speedup (total 1-D s / total 2-D s): "
+              << aggregate_2d << "\n";
     std::cout << "disabled span: " << span_ns << " ns ("
               << overhead_pct << "% of a batched probe call)\n";
     std::ofstream out(out_path);
@@ -341,6 +422,12 @@ int main(int argc, char** argv) {
     if (aggregate < min_speedup) {
       std::cerr << "bench_probe: throughput regression: aggregate speedup "
                 << aggregate << " < required " << min_speedup << "\n";
+      return 1;
+    }
+    if (aggregate_2d < min_speedup_2d) {
+      std::cerr << "bench_probe: throughput regression: aggregate 2-D "
+                << "speedup " << aggregate_2d << " < required "
+                << min_speedup_2d << "\n";
       return 1;
     }
     if (overhead_pct > 1.0) {

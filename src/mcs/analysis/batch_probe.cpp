@@ -1,251 +1,59 @@
-// The batched probe kernel.  Kept in its own translation unit so the build
-// can compile it with vectorization reporting (-fopt-info-vec /
-// -Rpass=loop-vectorize) and CI can grep that the lane loops vectorized
-// (tools/check_vectorization.sh).
+// Baseline-ISA instantiation of the batched probe kernels, plus the public
+// API and the runtime backend dispatcher.
 //
-// Every loop labeled "lane loop" iterates the innermost core dimension of
-// contiguous planes with no calls and no data-dependent branches; the
-// ternaries compile to SIMD selects.
+// Kept in its own translation unit so the build can compile it with
+// vectorization reporting (-fopt-info-vec / -Rpass=loop-vectorize) and CI
+// can grep that the lane loops vectorized (tools/check_vectorization.sh);
+// the kernel bodies live in batch_probe_impl.hpp, shared with the
+// -mavx2-compiled batch_probe_avx2.cpp.
+//
+// Dispatch: the active KernelTable starts as the widest backend usable on
+// this CPU — the AVX2 table (from the sibling TU) when the build carries it,
+// this TU's baseline flags are narrower, and __builtin_cpu_supports says the
+// machine has AVX2; this TU's own table otherwise.  The indirection costs
+// one predicted function-pointer call per *batched* probe (hundreds of ns of
+// kernel work), not per lane.
 #include "mcs/analysis/batch_probe.hpp"
 
-#include <algorithm>
-#include <limits>
+#define MCS_BATCH_PROBE_ISA base
+#include "mcs/analysis/batch_probe_impl.hpp"
+#undef MCS_BATCH_PROBE_ISA
 
 namespace mcs::analysis {
 
+namespace batch_kernel {
+
+#if defined(MCS_HAVE_AVX2_TU) && !defined(__AVX2__)
+// Compiled into batch_probe_avx2.cpp with -mavx2.  Not declared (or used)
+// when this TU already has AVX2: then base *is* the AVX2 instantiation.
+namespace avx2 {
+const KernelTable& table();
+}
+#endif
+
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Materializes the hypothetical task row: hrow(k) = plane(l_t, k) + u_t(k)
-/// for k = 1..l_t — the same single addition UtilMatrix::add performs on the
-/// scalar scratch copy.
-void materialize_task_row(const LevelUtilPlanes& planes, const McTask& task,
-                          BatchProbeScratch& s) {
-  const Level jt = task.level();
-  const std::size_t M = planes.num_cores();
-  for (Level k = 1; k <= jt; ++k) {
-    const double tu = task.utilization(k);
-    const double* __restrict src = planes.plane(jt, k);
-    double* __restrict dst =
-        s.hrow.data() + static_cast<std::size_t>(k - 1) * M;
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: hrow
-      dst[m] = src[m] + tu;
-    }
-  }
+const KernelTable* detect_table() noexcept {
+#if defined(MCS_HAVE_AVX2_TU) && !defined(__AVX2__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return &avx2::table();
+#endif
+  return &base::table();
 }
 
-/// Row selector with the task-row substitution hoisted out of the lane
-/// loops: rows of the task's own level l_t read the hypothetical hrow,
-/// every other row reads the committed plane.
-class RowView {
- public:
-  RowView(const LevelUtilPlanes& planes, const BatchProbeScratch& s, Level jt)
-      : planes_(planes), scratch_(s), jt_(jt) {}
-
-  [[nodiscard]] const double* operator()(Level j, Level k) const {
-    if (j == jt_) {
-      return scratch_.hrow.data() +
-             static_cast<std::size_t>(k - 1) * planes_.num_cores();
-    }
-    return planes_.plane(j, k);
-  }
-
- private:
-  const LevelUtilPlanes& planes_;
-  const BatchProbeScratch& scratch_;
-  Level jt_;
-};
-
-/// The Theorem-1 pass: fills s.valid, s.lambda, s.theta, s.min_term, s.sched
-/// (and, via the policy-templated fold below, s.best / s.first_avail /
-/// s.found).  Requires K >= 2; hrow must be materialized.
-///
-/// Scalar reference: improved_test(core, out) in edfvd.cpp.  The
-/// data-dependent breaks there become monotone masks here:
-///   * "break on invalid lambda_j"  ->  valid[m] stays at its last good j;
-///     a lane is still active at step j exactly when valid[m] == j - 1;
-///   * "break when k > valid"       ->  usable = k <= valid[m] (monotone
-///     non-increasing over k, so frozen lanes never resume).
-/// Live lanes execute the identical FP sequence; dead lanes may compute
-/// IEEE inf/NaN that the selects discard.
-template <ProbePolicy P, bool Fold>
-void improved_pass(const LevelUtilPlanes& planes, const RowView& row,
-                   BatchProbeScratch& s) {
-  const Level K = planes.num_levels();
-  const std::size_t M = planes.num_cores();
-
-  double* __restrict prod = s.prod.data();
-  std::uint32_t* __restrict valid = s.valid.data();
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: lambda init
-    prod[m] = 1.0;
-    valid[m] = 1;  // lambda_1 = 0 is always valid
-  }
-
-  // lambda_j per Eq. (6), j = 2..K-1.  Row 0 of the lambda plane (lambda_1)
-  // is zeroed by resize() and never written.
-  for (Level j = 2; j + 1 <= K; ++j) {
-    double* __restrict num = s.acc.data();
-    std::fill(num, num + M, 0.0);
-    for (Level x = j; x <= K; ++x) {
-      const double* __restrict r = row(x, j - 1);
-      for (std::size_t m = 0; m < M; ++m) {  // lane loop: lambda numerator
-        num[m] += r[m];
-      }
-    }
-    const double* __restrict diag = row(j - 1, j - 1);
-    double* __restrict lamj =
-        s.lambda.data() + static_cast<std::size_t>(j - 1) * M;
-    const std::uint32_t prev = j - 1;
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: lambda validity
-      const double denom = prod[m] - diag[m];
-      const double lam = num[m] / denom;  // dead lanes: inf/NaN, discarded
-      const bool ok =
-          valid[m] == prev && denom > 0.0 && lam >= 0.0 && lam < 1.0;
-      lamj[m] = ok ? lam : 0.0;
-      valid[m] = ok ? static_cast<std::uint32_t>(j) : valid[m];
-      prod[m] = ok ? prod[m] * (1.0 - lam) : prod[m];
-    }
-  }
-
-  // The min term of theta, shared by every condition k.
-  const double* __restrict rkk = row(K, K);
-  const double* __restrict rkprev = row(K, K - 1);
-  double* __restrict min_term = s.min_term.data();
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: min term
-    const double ukk = rkk[m];
-    const double div = rkprev[m] / (1.0 - ukk);  // ukk >= 1: discarded
-    const double second = ukk < 1.0 ? div : kInf;
-    min_term[m] = ukk <= second ? ukk : second;
-  }
-
-  // theta(k) from the own-level suffix sums, built top-down.
-  double* __restrict suffix = s.acc.data();
-  std::fill(suffix, suffix + M, 0.0);
-  for (Level k = K - 1; k >= 1; --k) {
-    const double* __restrict diag = row(k, k);
-    double* __restrict th =
-        s.theta.data() + static_cast<std::size_t>(k - 1) * M;
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: theta
-      suffix[m] += diag[m];
-      th[m] = suffix[m] + min_term[m];
-    }
-    if (k == 1) break;  // Level is unsigned
-  }
-
-  // mu(k) running product, the schedulability conditions, and (when Fold)
-  // the Eq. (9) policy fold over feasible conditions — fused into one walk
-  // over k so avail values never need a (K-1) x M store.
-  double* __restrict mu = s.mu.data();
-  std::uint8_t* __restrict sched = s.sched.data();
-  double* __restrict best = s.best.data();
-  double* __restrict first_avail = s.first_avail.data();
-  std::uint8_t* __restrict found = s.found.data();
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: mu/fold init
-    mu[m] = 1.0;
-    sched[m] = 0;
-    best[m] = 0.0;
-    first_avail[m] = 0.0;
-    found[m] = 0;
-  }
-  for (Level k = 1; k + 1 <= K; ++k) {
-    const double* __restrict th =
-        s.theta.data() + static_cast<std::size_t>(k - 1) * M;
-    const double* __restrict lamk =
-        s.lambda.data() + static_cast<std::size_t>(k - 1) * M;
-    const std::uint32_t kv = k;
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: mu + fold
-      const bool usable = kv <= valid[m];
-      const double mu_next = mu[m] * (1.0 - lamk[m]);
-      const double mu_k = usable ? mu_next : mu[m];
-      mu[m] = mu_k;
-      const double a = usable ? mu_k - th[m] : -kInf;
-      const bool cond = usable && sched[m] == 0 && th[m] <= mu_k;
-      first_avail[m] = cond ? a : first_avail[m];
-      sched[m] = static_cast<std::uint8_t>(sched[m] | (cond ? 1 : 0));
-      if constexpr (Fold) {
-        // Scalar fold in core_utilization(): skip a < 0; the first feasible
-        // condition seeds best, later ones fold via std::min / std::max.
-        const bool take = a >= 0.0;
-        const double u = 1.0 - a;
-        double folded;
-        if constexpr (P == ProbePolicy::kMaxOverFeasible) {
-          folded = best[m] < u ? u : best[m];  // std::max(best, u)
-        } else {
-          folded = u < best[m] ? u : best[m];  // std::min(best, u)
-        }
-        best[m] = take ? (found[m] != 0 ? folded : u) : best[m];
-        found[m] = static_cast<std::uint8_t>(found[m] | (take ? 1 : 0));
-      }
-    }
-  }
-}
-
-template <ProbePolicy P>
-void fold_utilization(const BatchProbeScratch& s, std::size_t M,
-                      double* __restrict out_util) {
-  const std::uint8_t* __restrict sched = s.sched.data();
-  const double* __restrict best = s.best.data();
-  const double* __restrict first_avail = s.first_avail.data();
-  const std::uint8_t* __restrict found = s.found.data();
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: utilization writeback
-    double u;
-    if constexpr (P == ProbePolicy::kFirstFeasible) {
-      u = 1.0 - first_avail[m];
-    } else {
-      u = found[m] != 0 ? best[m] : kInf;
-    }
-    out_util[m] = sched[m] != 0 ? u : kInf;
-  }
-}
-
-void run_improved(const LevelUtilPlanes& planes, const RowView& row,
-                  ProbePolicy policy, bool fold, BatchProbeScratch& s) {
-  switch (policy) {
-    case ProbePolicy::kFirstFeasible:
-      fold ? improved_pass<ProbePolicy::kFirstFeasible, true>(planes, row, s)
-           : improved_pass<ProbePolicy::kFirstFeasible, false>(planes, row, s);
-      break;
-    case ProbePolicy::kMinOverFeasible:
-      fold ? improved_pass<ProbePolicy::kMinOverFeasible, true>(planes, row, s)
-           : improved_pass<ProbePolicy::kMinOverFeasible, false>(planes, row,
-                                                                 s);
-      break;
-    case ProbePolicy::kMaxOverFeasible:
-      fold ? improved_pass<ProbePolicy::kMaxOverFeasible, true>(planes, row, s)
-           : improved_pass<ProbePolicy::kMaxOverFeasible, false>(planes, row,
-                                                                 s);
-      break;
-  }
-}
-
-/// Eq. (4) left-hand side with the task added: sum_k row(k, k), ascending —
-/// the same accumulation order as UtilMatrix::own_level_sum.
-void basic_mask(const LevelUtilPlanes& planes, const RowView& row,
-                BatchProbeScratch& s, std::uint8_t* __restrict out) {
-  const Level K = planes.num_levels();
-  const std::size_t M = planes.num_cores();
-  double* __restrict total = s.acc.data();
-  std::fill(total, total + M, 0.0);
-  for (Level k = 1; k <= K; ++k) {
-    const double* __restrict diag = row(k, k);
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: Eq. (4) sum
-      total[m] += diag[m];
-    }
-  }
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: Eq. (4) mask
-    out[m] = static_cast<std::uint8_t>(total[m] <= 1.0 ? 1 : 0);
-  }
+const KernelTable*& active_table() noexcept {
+  static const KernelTable* t = detect_table();
+  return t;
 }
 
 }  // namespace
+}  // namespace batch_kernel
 
 void BatchProbeScratch::resize(Level num_levels, std::size_t num_cores) {
   levels = num_levels;
   cores = num_cores;
   const std::size_t K = num_levels;
   const std::size_t planes_km1 = K > 0 ? (K - 1) * cores : 0;
-  hrow.assign(K * cores, 0.0);
+  hrow.assign(kBatchProbeTileTasks * K * cores, 0.0);
   lambda.assign(planes_km1, 0.0);  // row 0 (lambda_1 = 0) stays zero forever
   theta.assign(planes_km1, 0.0);
   acc.assign(cores, 0.0);
@@ -254,78 +62,80 @@ void BatchProbeScratch::resize(Level num_levels, std::size_t num_cores) {
   mu.assign(cores, 0.0);
   best.assign(cores, 0.0);
   first_avail.assign(cores, 0.0);
-  valid.assign(cores, 0);
-  sched.assign(cores, 0);
-  found.assign(cores, 0);
+  valid.assign(cores, 0.0);
+  sched.assign(cores, 0.0);
+  found.assign(cores, 0.0);
+  base_num.assign((K + 1) * (K + 1) * cores, 0.0);
+  base_suffix.assign((K + 1) * cores, 0.0);
+  base_theta.assign(planes_km1, 0.0);
+  base_min_term.assign(cores, 0.0);
+  base_eq4.assign((K + 1) * cores, 0.0);
+  th_rows.assign(K > 0 ? K - 1 : 0, nullptr);
+}
+
+const char* batch_probe_backend() noexcept {
+  return batch_kernel::active_table()->backend;
+}
+
+bool set_batch_probe_backend(std::string_view name) noexcept {
+  using batch_kernel::KernelTable;
+  const KernelTable* next = nullptr;
+  if (name == "auto") {
+    next = batch_kernel::detect_table();
+  } else if (name == "scalar") {
+    next = &batch_kernel::base::scalar_table();
+  } else if (name == batch_kernel::base::table().backend) {
+    next = &batch_kernel::base::table();
+  }
+#if defined(MCS_HAVE_AVX2_TU) && !defined(__AVX2__) && defined(__GNUC__)
+  else if (name == "avx2" && __builtin_cpu_supports("avx2")) {
+    next = &batch_kernel::avx2::table();
+  }
+#endif
+  if (next == nullptr) return false;
+  batch_kernel::active_table() = next;
+  return true;
 }
 
 void batch_core_utilization(const LevelUtilPlanes& planes, const McTask& task,
                             ProbePolicy policy, BatchProbeScratch& scratch,
                             double* out_util) {
-  const Level K = planes.num_levels();
-  const std::size_t M = planes.num_cores();
-  if (scratch.levels != K || scratch.cores != M) scratch.resize(K, M);
-  materialize_task_row(planes, task, scratch);
-  const RowView row(planes, scratch, task.level());
-
-  if (K == 1) {
-    // Same K == 1 fast path as core_utilization(): report U_1(1) exactly.
-    const double* __restrict r11 = row(1, 1);
-    for (std::size_t m = 0; m < M; ++m) {  // lane loop: K == 1 utilization
-      out_util[m] = r11[m] <= 1.0 ? r11[m] : kInf;
-    }
-    return;
-  }
-
-  run_improved(planes, row, policy, /*fold=*/true, scratch);
-  switch (policy) {
-    case ProbePolicy::kFirstFeasible:
-      fold_utilization<ProbePolicy::kFirstFeasible>(scratch, M, out_util);
-      break;
-    case ProbePolicy::kMinOverFeasible:
-      fold_utilization<ProbePolicy::kMinOverFeasible>(scratch, M, out_util);
-      break;
-    case ProbePolicy::kMaxOverFeasible:
-      fold_utilization<ProbePolicy::kMaxOverFeasible>(scratch, M, out_util);
-      break;
-  }
+  batch_kernel::active_table()->util_1d(planes, task, policy, scratch,
+                                        out_util);
 }
 
 void batch_fits(const LevelUtilPlanes& planes, const McTask& task,
                 BatchProbeScratch& scratch, std::uint8_t* basic,
                 std::uint8_t* fits) {
-  const Level K = planes.num_levels();
-  const std::size_t M = planes.num_cores();
-  if (scratch.levels != K || scratch.cores != M) scratch.resize(K, M);
-  materialize_task_row(planes, task, scratch);
-  const RowView row(planes, scratch, task.level());
-  basic_mask(planes, row, scratch, basic);
-
-  if (K == 1) {
-    // Eq. (4) and the improved test coincide at K == 1 (plain EDF).
-    std::copy(basic, basic + M, fits);
-    return;
-  }
-
-  // The scalar path runs the improved test only where Eq. (4) failed; the
-  // improved test is pure, so running it on every lane and OR-ing with the
-  // basic mask yields the identical accept decision.
-  run_improved(planes, row, ProbePolicy::kMinOverFeasible, /*fold=*/false,
-               scratch);
-  const std::uint8_t* __restrict sched = scratch.sched.data();
-  for (std::size_t m = 0; m < M; ++m) {  // lane loop: accept mask
-    fits[m] = static_cast<std::uint8_t>(basic[m] | sched[m]);
-  }
+  batch_kernel::active_table()->fits_1d(planes, task, scratch, basic, fits);
 }
 
 void batch_fits_basic(const LevelUtilPlanes& planes, const McTask& task,
                       BatchProbeScratch& scratch, std::uint8_t* basic) {
-  const Level K = planes.num_levels();
-  const std::size_t M = planes.num_cores();
-  if (scratch.levels != K || scratch.cores != M) scratch.resize(K, M);
-  materialize_task_row(planes, task, scratch);
-  const RowView row(planes, scratch, task.level());
-  basic_mask(planes, row, scratch, basic);
+  batch_kernel::active_table()->fits_basic_1d(planes, task, scratch, basic);
+}
+
+void batch_core_utilization_2d(const LevelUtilPlanes& planes, const TaskSet& ts,
+                               std::span<const std::size_t> tasks,
+                               ProbePolicy policy, BatchProbeScratch& scratch,
+                               double* out_util) {
+  batch_kernel::active_table()->util_2d(planes, ts, tasks.data(), tasks.size(),
+                                        policy, scratch, out_util);
+}
+
+void batch_fits_2d(const LevelUtilPlanes& planes, const TaskSet& ts,
+                   std::span<const std::size_t> tasks,
+                   BatchProbeScratch& scratch, std::uint8_t* basic,
+                   std::uint8_t* fits) {
+  batch_kernel::active_table()->fits_2d(planes, ts, tasks.data(), tasks.size(),
+                                        scratch, basic, fits);
+}
+
+void batch_fits_basic_2d(const LevelUtilPlanes& planes, const TaskSet& ts,
+                         std::span<const std::size_t> tasks,
+                         BatchProbeScratch& scratch, std::uint8_t* basic) {
+  batch_kernel::active_table()->fits_basic_2d(planes, ts, tasks.data(),
+                                              tasks.size(), scratch, basic);
 }
 
 }  // namespace mcs::analysis

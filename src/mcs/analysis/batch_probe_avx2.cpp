@@ -1,0 +1,19 @@
+// AVX2 instantiation of the batched probe kernels.
+//
+// Compiled with -mavx2 (see src/mcs/CMakeLists.txt); contains nothing but
+// the shared kernel bodies from batch_probe_impl.hpp instantiated on 4-wide
+// lanes.  batch_probe.cpp's dispatcher selects this table at runtime when
+// the CPU supports AVX2 and the build's baseline flags don't already carry
+// it.  No function here touches global state, so having the TU present but
+// unselected is inert.
+#if !defined(__AVX2__)
+#error "batch_probe_avx2.cpp must be compiled with AVX2 enabled (-mavx2)"
+#endif
+
+// Fail the build if lane_ops would fall back to scalar lanes here: this TU
+// exists only to provide the wide path.
+#define MCS_LANE_REQUIRE_SIMD 1
+
+#define MCS_BATCH_PROBE_ISA avx2
+#include "mcs/analysis/batch_probe_impl.hpp"
+#undef MCS_BATCH_PROBE_ISA

@@ -4,16 +4,17 @@
 
 namespace mcs {
 
-McTask::McTask(std::size_t id, std::vector<double> wcets, double period)
-    : id_(id), wcets_(std::move(wcets)), period_(period) {
-  if (wcets_.empty()) {
+namespace {
+
+void validate_task(const std::vector<double>& wcets, double period) {
+  if (wcets.empty()) {
     throw std::invalid_argument("McTask: WCET vector must be non-empty");
   }
-  if (!(period_ > 0.0)) {
+  if (!(period > 0.0)) {
     throw std::invalid_argument("McTask: period must be positive");
   }
   double prev = 0.0;
-  for (double c : wcets_) {
+  for (double c : wcets) {
     if (!(c > 0.0)) {
       throw std::invalid_argument("McTask: WCETs must be positive");
     }
@@ -21,12 +22,27 @@ McTask::McTask(std::size_t id, std::vector<double> wcets, double period)
       throw std::invalid_argument(
           "McTask: WCETs must be non-decreasing across criticality levels");
     }
-    if (c > period_) {
+    if (c > period) {
       throw std::invalid_argument(
           "McTask: WCET exceeds period (task infeasible in isolation)");
     }
     prev = c;
   }
+}
+
+}  // namespace
+
+McTask::McTask(std::size_t id, std::vector<double> wcets, double period)
+    : id_(id), wcets_(std::move(wcets)), period_(period) {
+  validate_task(wcets_, period_);
+}
+
+void McTask::assign(std::size_t id, std::span<const double> wcets,
+                    double period) {
+  wcets_.assign(wcets.begin(), wcets.end());
+  id_ = id;
+  period_ = period;
+  validate_task(wcets_, period_);
 }
 
 double McTask::wcet(Level k) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,6 +27,13 @@ class McTask {
   /// non-increasing WCET vector, non-positive period or WCET, or a WCET
   /// exceeding the period at any level).
   McTask(std::size_t id, std::vector<double> wcets, double period);
+
+  /// Re-initializes the task in place from a fresh parameter draw, copying
+  /// `wcets` into the existing WCET vector (no allocation once its capacity
+  /// covers the new level).  Same validation as the constructor.  Arena hot
+  /// path: lets trial generators recycle task shells instead of
+  /// constructing a fresh vector per task.
+  void assign(std::size_t id, std::span<const double> wcets, double period);
 
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
   [[nodiscard]] double period() const noexcept { return period_; }

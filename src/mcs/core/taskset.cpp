@@ -86,6 +86,22 @@ TaskSet::TaskSet(std::vector<McTask> tasks, Level num_levels)
   }
 }
 
+void TaskSet::assign(std::vector<McTask> tasks, Level num_levels) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("TaskSet: must contain at least one task");
+  }
+  tasks_ = std::move(tasks);
+  levels_ = num_levels;
+  utils_.reset(num_levels);
+  for (const McTask& t : tasks_) {
+    utils_.add(t);  // throws if t.level() > num_levels
+  }
+}
+
+std::vector<McTask> TaskSet::release() noexcept {
+  return std::move(tasks_);
+}
+
 double TaskSet::raw_level1_util() const {
   double total = 0.0;
   for (const McTask& t : tasks_) {

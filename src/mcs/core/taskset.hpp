@@ -79,6 +79,18 @@ class TaskSet {
   /// if the set is empty.
   TaskSet(std::vector<McTask> tasks, Level num_levels);
 
+  /// Rebuilds the set in place from a fresh task vector — same validation
+  /// as the constructor, but the utilization matrix storage is recycled
+  /// (UtilMatrix::reset), so the steady state of a trial loop allocates
+  /// nothing beyond what `tasks` itself carries.
+  void assign(std::vector<McTask> tasks, Level num_levels);
+
+  /// Moves the task vector out for shell recycling, leaving the set EMPTY —
+  /// a state every other member (and the class invariant) forbids; the set
+  /// must be re-assign()ed before any further use.  Hot-loop arena hook
+  /// (gen::TrialArena), not a general API.
+  [[nodiscard]] std::vector<McTask> release() noexcept;
+
   [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
   [[nodiscard]] Level num_levels() const noexcept { return levels_; }
 

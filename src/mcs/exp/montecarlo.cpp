@@ -32,17 +32,19 @@ PointResult run_point(const gen::GenParams& params,
       [&](std::size_t chunk) {
         std::vector<SchemeAggregate>& local = partials[chunk];
         local.resize(schemes.size());
-        // One engine per chunk: partition, scratch matrices, utilization
-        // caches, the SoA level-utilization planes and the batched-probe
-        // scratch are all recycled across every trial x scheme of the chunk
-        // (reset() re-assigns in place), so the batched kernel runs
-        // allocation-free throughout a sweep.
+        // One engine + one trial arena per chunk: partition, scratch
+        // matrices, utilization caches, the SoA level-utilization planes,
+        // the batched-probe scratch AND the task-set shells are all
+        // recycled across every trial x scheme of the chunk (reset() /
+        // TrialArena re-assign in place), so the whole trial loop runs
+        // allocation-free in the steady state of a sweep.
         analysis::PlacementEngine engine;
+        gen::TrialArena arena;
         const std::uint64_t begin = static_cast<std::uint64_t>(chunk) * kChunk;
         const std::uint64_t end = std::min(begin + kChunk, options.trials);
         for (std::uint64_t trial = begin; trial < end; ++trial) {
-          const TaskSet ts =
-              gen::generate_trial(params, options.seed, trial);
+          const TaskSet& ts =
+              arena.generate_trial(params, options.seed, trial);
           for (std::size_t s = 0; s < schemes.size(); ++s) {
             SchemeAggregate& agg = local[s];
             ++agg.trials;

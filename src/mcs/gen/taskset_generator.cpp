@@ -5,7 +5,20 @@
 
 namespace mcs::gen {
 
-TaskSet generate(const GenParams& params, Rng& rng, GenStats* stats) {
+namespace {
+
+// The draw helpers below are the ONE definition of the generator's RNG
+// sequence: generate() and TrialArena::generate_trial() both run
+// draw_header then N x draw_task, so the two paths consume bit-identical
+// random streams and produce bit-identical task parameters.
+
+struct SetHeader {
+  Level K = 0;
+  std::size_t N = 0;
+  double u_base = 0.0;
+};
+
+void validate_params(const GenParams& params) {
   if (params.num_cores == 0) {
     throw std::invalid_argument("generate: need at least one core");
   }
@@ -23,55 +36,117 @@ TaskSet generate(const GenParams& params, Rng& rng, GenStats* stats) {
       throw std::invalid_argument("generate: malformed period class");
     }
   }
+}
 
-  const Level K = params.random_levels
-                      ? static_cast<Level>(rng.uniform_int(2, 6))
-                      : params.num_levels;
-  const std::size_t N = params.num_tasks != 0
-                            ? params.num_tasks
-                            : static_cast<std::size_t>(rng.uniform_int(40, 200));
+SetHeader draw_header(const GenParams& params, Rng& rng) {
+  SetHeader h;
+  h.K = params.random_levels ? static_cast<Level>(rng.uniform_int(2, 6))
+                             : params.num_levels;
+  h.N = params.num_tasks != 0
+            ? params.num_tasks
+            : static_cast<std::size_t>(rng.uniform_int(40, 200));
+  h.u_base = params.nsu * static_cast<double>(params.num_cores) /
+             static_cast<double>(h.N);
+  return h;
+}
 
-  const double u_base =
-      params.nsu * static_cast<double>(params.num_cores) /
-      static_cast<double>(N);
+// Draws one task (period class, period, c_1 spread, level — in that order)
+// and writes its WCET vector into `wcets`; returns the period.
+double draw_task(const GenParams& params, Rng& rng, const SetHeader& h,
+                 std::vector<double>& wcets, std::size_t& caps) {
+  const auto cls = static_cast<std::size_t>(
+      rng.uniform_int(0, params.period_classes.size() - 1));
+  const auto [plo, phi] = params.period_classes[cls];
+  const double period = rng.uniform(plo, phi);
 
-  std::vector<McTask> tasks;
-  tasks.reserve(N);
-  std::size_t caps = 0;
-  for (std::size_t i = 0; i < N; ++i) {
-    const auto cls = static_cast<std::size_t>(
-        rng.uniform_int(0, params.period_classes.size() - 1));
-    const auto [plo, phi] = params.period_classes[cls];
-    const double period = rng.uniform(plo, phi);
+  double c1 = rng.uniform(params.wcet_spread_lo, params.wcet_spread_hi) *
+              period * h.u_base;
+  if (c1 > period) {
+    c1 = period;
+    ++caps;
+  }
 
-    double c1 = rng.uniform(params.wcet_spread_lo, params.wcet_spread_hi) *
-                period * u_base;
-    if (c1 > period) {
-      c1 = period;
+  const Level level = static_cast<Level>(rng.uniform_int(1, h.K));
+  wcets.clear();
+  wcets.reserve(level);
+  double c = c1;
+  for (Level k = 1; k <= level; ++k) {
+    if (k > 1) c *= (1.0 + params.ifc);
+    if (c > period) {
+      c = period;
       ++caps;
     }
+    wcets.push_back(c);
+  }
+  return period;
+}
 
-    const Level level = static_cast<Level>(rng.uniform_int(1, K));
-    std::vector<double> wcets;
-    wcets.reserve(level);
-    double c = c1;
-    for (Level k = 1; k <= level; ++k) {
-      if (k > 1) c *= (1.0 + params.ifc);
-      if (c > period) {
-        c = period;
-        ++caps;
-      }
-      wcets.push_back(c);
-    }
-    tasks.emplace_back(i, std::move(wcets), period);
+}  // namespace
+
+TaskSet generate(const GenParams& params, Rng& rng, GenStats* stats) {
+  validate_params(params);
+  const SetHeader h = draw_header(params, rng);
+
+  std::vector<McTask> tasks;
+  tasks.reserve(h.N);
+  std::vector<double> wcets;
+  std::size_t caps = 0;
+  for (std::size_t i = 0; i < h.N; ++i) {
+    const double period = draw_task(params, rng, h, wcets, caps);
+    tasks.emplace_back(i, wcets, period);
   }
 
   if (stats != nullptr) {
     stats->wcet_caps = caps;
-    stats->levels = K;
-    stats->tasks = N;
+    stats->levels = h.K;
+    stats->tasks = h.N;
   }
-  return TaskSet(std::move(tasks), K);
+  return TaskSet(std::move(tasks), h.K);
+}
+
+const TaskSet& TrialArena::generate_trial(const GenParams& params,
+                                          std::uint64_t seed,
+                                          std::uint64_t trial,
+                                          GenStats* stats) {
+  validate_params(params);
+  Rng rng(derive_seed(seed, trial));
+  const SetHeader h = draw_header(params, rng);
+
+  // Reclaim the previous trial's task vector; its shells (and their WCET
+  // vectors' capacity) are overwritten in place via McTask::assign.
+  if (set_.has_value()) build_ = set_->release();
+
+  std::size_t caps = 0;
+  for (std::size_t i = 0; i < h.N; ++i) {
+    const double period = draw_task(params, rng, h, wcets_, caps);
+    if (i < build_.size()) {
+      build_[i].assign(i, wcets_, period);
+    } else if (!pool_.empty()) {
+      build_.push_back(std::move(pool_.back()));
+      pool_.pop_back();
+      build_.back().assign(i, wcets_, period);
+    } else {
+      build_.emplace_back(i, wcets_, period);
+    }
+  }
+  // A smaller trial parks the leftover shells for later reuse instead of
+  // destroying them (which would free their WCET storage).
+  while (build_.size() > h.N) {
+    pool_.push_back(std::move(build_.back()));
+    build_.pop_back();
+  }
+
+  if (stats != nullptr) {
+    stats->wcet_caps = caps;
+    stats->levels = h.K;
+    stats->tasks = h.N;
+  }
+  if (set_.has_value()) {
+    set_->assign(std::move(build_), h.K);
+  } else {
+    set_.emplace(std::move(build_), h.K);
+  }
+  return *set_;
 }
 
 TaskSet generate_trial(const GenParams& params, std::uint64_t seed,

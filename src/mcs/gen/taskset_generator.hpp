@@ -13,7 +13,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "mcs/core/taskset.hpp"
 #include "mcs/gen/rng.hpp"
@@ -52,5 +54,29 @@ struct GenStats {
 [[nodiscard]] TaskSet generate_trial(const GenParams& params,
                                      std::uint64_t seed, std::uint64_t trial,
                                      GenStats* stats = nullptr);
+
+/// Allocation-free trial generation for Monte-Carlo hot loops.  One arena
+/// recycles a single TaskSet shell plus a pool of McTask shells (and their
+/// WCET vectors' capacity) across generate_trial calls, so the steady state
+/// of a sweep chunk draws trials with zero per-trial allocation.  The draw
+/// runs the exact RNG sequence of generate(), so the produced sets are
+/// bit-identical to the free generate_trial()'s — verified by
+/// GeneratorTest.ArenaMatchesFreeFunction and the probe-parity fuzz target.
+///
+/// Not thread-safe; use one arena per worker (e.g. per sweep chunk).
+class TrialArena {
+ public:
+  /// Generates trial `trial` into the recycled shell.  The returned
+  /// reference is invalidated by the next generate_trial call on the same
+  /// arena.
+  const TaskSet& generate_trial(const GenParams& params, std::uint64_t seed,
+                                std::uint64_t trial, GenStats* stats = nullptr);
+
+ private:
+  std::optional<TaskSet> set_;  ///< recycled shell, engaged after first call
+  std::vector<McTask> build_;   ///< task vector under construction
+  std::vector<McTask> pool_;    ///< spare shells from larger past trials
+  std::vector<double> wcets_;   ///< per-task WCET scratch
+};
 
 }  // namespace mcs::gen

@@ -44,12 +44,16 @@ namespace {
 /// left exactly as it was — tentative moves go through relocate(), which
 /// does not touch the cache.
 ///
-/// The victim-vs-all-refuges scan is one batched probe: no core's state
-/// changes between the historical scalar refuge probes (each refuge is
-/// first touched only in its own iteration), so probing every refuge up
-/// front against the loop-entry state yields bit-identical ProbeResults.
-/// The task-on-dest re-probe stays scalar — it runs against a partition
-/// that genuinely differs per attempt.
+/// The victims-vs-all-refuges rescan is one 2-D batched probe per dest: no
+/// core's state changes between the historical scalar refuge probes (every
+/// tentative relocate is rolled back before the next attempt), so probing
+/// every (victim, refuge) pair of the dest up front against the loop-entry
+/// state yields bit-identical ProbeResults — row v of the tile is exactly
+/// the 1-D all-cores probe of victim v.  The task-on-dest re-probe stays
+/// scalar — it runs against a partition that genuinely differs per attempt.
+/// Accounting: the 2-D call charges members x cores probes up front, even
+/// when a repair succeeds partway through the tile (the T x M rule; see
+/// placement.hpp).
 bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
                 analysis::ProbePolicy policy,
                 std::vector<analysis::ProbeResult>& probes) {
@@ -58,11 +62,16 @@ bool try_repair(analysis::PlacementEngine& engine, std::size_t task,
   for (std::size_t dest = 0; dest < cores; ++dest) {
     // Candidate tasks to evict from `dest` (copy: we mutate the partition).
     const std::vector<std::size_t> members = engine.partition().tasks_on(dest);
-    for (std::size_t victim : members) {
-      engine.probe_all_cores(victim, policy, probes);
+    if (members.empty()) continue;
+    probes.resize(members.size() * cores);
+    engine.probe_all_cores_2d(members, policy,
+                              std::span<analysis::ProbeResult>(probes));
+    for (std::size_t v = 0; v < members.size(); ++v) {
+      const std::size_t victim = members[v];
+      const analysis::ProbeResult* victim_row = probes.data() + v * cores;
       for (std::size_t refuge = 0; refuge < cores; ++refuge) {
         if (refuge == dest) continue;
-        const analysis::ProbeResult& victim_probe = probes[refuge];
+        const analysis::ProbeResult& victim_probe = victim_row[refuge];
         if (!victim_probe.feasible) continue;
         g_repair_relocations.add();
         engine.relocate(victim, refuge);
@@ -92,6 +101,7 @@ PlacementOutcome CaTpaPartitioner::run_on(
                                              : order_by_max_utilization(ts);
 
   std::vector<analysis::ProbeResult> probes(num_cores);
+  std::vector<analysis::ProbeResult> repair_probes;  // victims x cores tile
   std::vector<Candidate> candidates(num_cores);
   std::vector<unsigned char> feasible(num_cores, 0);
 
@@ -122,7 +132,7 @@ PlacementOutcome CaTpaPartitioner::run_on(
     if (choice.core == kUnassigned) {
       if (options_.enable_repair) {
         g_repair_calls.add();
-        if (try_repair(engine, t, options_.probe_policy, probes)) {
+        if (try_repair(engine, t, options_.probe_policy, repair_probes)) {
           g_repair_success.add();
           continue;
         }

@@ -31,7 +31,7 @@ void parse_meta_line(const std::string& line, CorpusMeta& meta,
     const std::string value = token.substr(eq + 1);
     if (key == "target") {
       if (value != "soundness" && value != "differential" && value != "io" &&
-          value != "engine-parity") {
+          value != "engine-parity" && value != "probe-parity") {
         throw std::runtime_error("corpus: " + path + ": unknown target '" +
                                  value + "'");
       }
@@ -100,6 +100,9 @@ CheckResult replay(const CorpusCase& c) {
   }
   if (c.meta.target == "engine-parity") {
     return check_engine_parity(c.ts, c.meta.num_cores, c.meta.seed);
+  }
+  if (c.meta.target == "probe-parity") {
+    return check_probe_parity(c.ts, c.meta.num_cores, c.meta.seed);
   }
   // Soundness: re-partition with the accepting scheme and re-run the oracle.
   // Scheme names are grammar spec strings (slash-forms like "UD-TPA/ge"

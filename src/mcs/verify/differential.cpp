@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "mcs/analysis/amc_rta.hpp"
 #include "mcs/analysis/core_util.hpp"
@@ -603,6 +604,13 @@ CheckResult check_probe_parity(const TaskSet& ts, std::size_t num_cores,
   std::vector<analysis::ProbeResult> batched(num_cores);
   std::vector<unsigned char> mask(num_cores, 0);
 
+  // Independent SoA mirror, fed the same add/remove sequence as the
+  // engine's internal planes (so it is bitwise identical to them): the raw
+  // 2-D kernel is driven directly through it for the forced-backend check.
+  analysis::LevelUtilPlanes mirror;
+  mirror.reset(ts.num_levels(), num_cores);
+  analysis::BatchProbeScratch scratch2d;
+
   // Compares every batched API against num_cores() scalar probes for one
   // task on the CURRENT engine state.  Scalar and batched results must be
   // bitwise identical — not merely close — and each batched call must count
@@ -672,25 +680,154 @@ CheckResult check_probe_parity(const TaskSet& ts, std::size_t num_cores,
     return {};
   };
 
+  // 2-D trials: a random task list (random T, duplicates allowed, tile-tail
+  // sizes included) probed against all cores in one task x core call.  Every
+  // row must be bitwise identical to the scalar per-core probes, the call
+  // must charge exactly T x num_cores() probes, and the forced-scalar
+  // kernel must reproduce the active (possibly SIMD) backend bit for bit.
+  std::vector<std::size_t> tile_tasks;
+  std::vector<analysis::ProbeResult> batched2d;
+  std::vector<double> util2d;
+  std::vector<double> util2d_scalar;
+  std::vector<unsigned char> mask2d;
+  const auto compare_tile = [&]() -> CheckResult {
+    const std::size_t T =
+        rng.uniform_int(1, std::min<std::size_t>(ts.size(), 17));
+    tile_tasks.clear();
+    for (std::size_t i = 0; i < T; ++i) {
+      tile_tasks.push_back(rng.uniform_int(0, ts.size() - 1));
+    }
+    batched2d.resize(T * num_cores);
+    mask2d.resize(T * num_cores);
+    const analysis::ProbePolicy policies[] = {
+        analysis::ProbePolicy::kFirstFeasible,
+        analysis::ProbePolicy::kMinOverFeasible,
+        analysis::ProbePolicy::kMaxOverFeasible};
+    for (const analysis::ProbePolicy policy : policies) {
+      const std::size_t before = engine.probes();
+      engine.probe_all_cores_2d(tile_tasks, policy,
+                                std::span<analysis::ProbeResult>(batched2d));
+      if (engine.probes() != before + T * num_cores) {
+        std::ostringstream os;
+        os << "probe_all_cores_2d accounting: probes() advanced by "
+           << engine.probes() - before << ", expected " << T * num_cores;
+        return fail(os.str());
+      }
+      for (std::size_t i = 0; i < T; ++i) {
+        for (std::size_t m = 0; m < num_cores; ++m) {
+          const analysis::ProbeResult& got = batched2d[i * num_cores + m];
+          const analysis::ProbeResult scalar =
+              engine.probe(tile_tasks[i], m, policy);
+          if (scalar.feasible != got.feasible ||
+              !bits_equal(scalar.new_util, got.new_util) ||
+              !bits_equal(scalar.increment, got.increment)) {
+            std::ostringstream os;
+            os << std::setprecision(17) << "probe_all_cores_2d: row " << i
+               << " (task " << tile_tasks[i] << ") core " << m << " policy "
+               << static_cast<int>(policy) << ": 2-D {" << got.feasible
+               << ", " << got.new_util << ", " << got.increment
+               << "} vs scalar {" << scalar.feasible << ", "
+               << scalar.new_util << ", " << scalar.increment << "}";
+            return fail(os.str());
+          }
+        }
+      }
+    }
+    {
+      const std::size_t before = engine.probes();
+      engine.probe_fits_all_2d(tile_tasks,
+                               std::span<unsigned char>(mask2d));
+      if (engine.probes() != before + T * num_cores) {
+        return fail("probe_fits_all_2d accounting: expected T x cores");
+      }
+      for (std::size_t i = 0; i < T; ++i) {
+        for (std::size_t m = 0; m < num_cores; ++m) {
+          if ((mask2d[i * num_cores + m] != 0) !=
+              engine.probe_fits(tile_tasks[i], m)) {
+            std::ostringstream os;
+            os << "probe_fits_all_2d: row " << i << " (task " << tile_tasks[i]
+               << ") core " << m << " disagrees with scalar";
+            return fail(os.str());
+          }
+        }
+      }
+    }
+    {
+      const std::size_t before = engine.probes();
+      engine.probe_fits_basic_all_2d(tile_tasks,
+                                     std::span<unsigned char>(mask2d));
+      if (engine.probes() != before + T * num_cores) {
+        return fail("probe_fits_basic_all_2d accounting: expected T x cores");
+      }
+      for (std::size_t i = 0; i < T; ++i) {
+        for (std::size_t m = 0; m < num_cores; ++m) {
+          if ((mask2d[i * num_cores + m] != 0) !=
+              engine.probe_fits_basic(tile_tasks[i], m)) {
+            std::ostringstream os;
+            os << "probe_fits_basic_all_2d: row " << i << " (task "
+               << tile_tasks[i] << ") core " << m
+               << " disagrees with scalar";
+            return fail(os.str());
+          }
+        }
+      }
+    }
+    // SIMD-vs-scalar: re-run one 2-D utilization pass with the kernel forced
+    // to the scalar backend; the lane-ops contract promises bitwise equality.
+    if (std::string_view(analysis::batch_probe_backend()) != "scalar") {
+      util2d.resize(T * num_cores);
+      util2d_scalar.resize(T * num_cores);
+      analysis::batch_core_utilization_2d(
+          mirror, ts, tile_tasks, analysis::ProbePolicy::kMinOverFeasible,
+          scratch2d, util2d.data());
+      if (!analysis::set_batch_probe_backend("scalar")) {
+        return fail("set_batch_probe_backend(scalar) refused");
+      }
+      analysis::batch_core_utilization_2d(
+          mirror, ts, tile_tasks, analysis::ProbePolicy::kMinOverFeasible,
+          scratch2d, util2d_scalar.data());
+      if (!analysis::set_batch_probe_backend("auto")) {
+        return fail("set_batch_probe_backend(auto) refused");
+      }
+      for (std::size_t i = 0; i < T * num_cores; ++i) {
+        if (!bits_equal(util2d[i], util2d_scalar[i])) {
+          std::ostringstream os;
+          os << std::setprecision(17) << "2-D SIMD/scalar divergence at lane "
+             << i << ": " << util2d[i] << " vs " << util2d_scalar[i]
+             << " (backend " << analysis::batch_probe_backend() << ")";
+          return fail(os.str());
+        }
+      }
+    }
+    return {};
+  };
+
   // Random placement workout: probe-parity must hold on empty, partially
   // filled, overloaded and churned (uncommit/relocate) plane states alike.
   const std::size_t steps = 3 * ts.size() + 8;
   for (std::size_t step = 0; step < steps; ++step) {
     const std::size_t t = rng.uniform_int(0, ts.size() - 1);
     if (CheckResult r = compare_task(t); !r.ok) return r;
+    if (step % 4 == 0) {
+      if (CheckResult r = compare_tile(); !r.ok) return r;
+    }
 
     if (core_of[t] == kUnassigned) {
       // Place it somewhere (feasible or not: the planes must track the
       // matrices regardless of schedulability).
       const std::size_t m = rng.uniform_int(0, num_cores - 1);
       engine.commit(t, m);
+      mirror.add(ts[t], m);
       core_of[t] = m;
     } else if (rng.bernoulli(0.5) && num_cores > 1) {
       const std::size_t m = rng.uniform_int(0, num_cores - 1);
       engine.relocate(t, m);
+      mirror.remove(ts[t], core_of[t]);
+      mirror.add(ts[t], m);
       core_of[t] = m;
     } else {
       engine.uncommit(t);
+      mirror.remove(ts[t], core_of[t]);
       core_of[t] = kUnassigned;
     }
   }

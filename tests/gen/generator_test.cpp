@@ -152,6 +152,46 @@ TEST(GeneratorTest, CountsWcetCapsUnderExtremeLoad) {
   }
 }
 
+TEST(GeneratorTest, ArenaMatchesFreeFunction) {
+  // One arena across a heterogeneous trial stream: variable N (drawn per
+  // trial), variable K, shrinking and growing sets — every produced set
+  // must equal the free generate_trial's bit for bit, and the recycled
+  // stats must match too.
+  GenParams params;
+  params.num_cores = 4;
+  params.num_levels = 4;
+  params.nsu = 0.7;
+  params.num_tasks = 0;  // N ~ U[40,200]: exercises shell pool grow/shrink
+  TrialArena arena;
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    GenStats free_stats;
+    GenStats arena_stats;
+    const TaskSet expect = generate_trial(params, 9, trial, &free_stats);
+    const TaskSet& got = arena.generate_trial(params, 9, trial, &arena_stats);
+    ASSERT_EQ(got.size(), expect.size()) << "trial " << trial;
+    EXPECT_EQ(got.num_levels(), expect.num_levels());
+    EXPECT_EQ(arena_stats.tasks, free_stats.tasks);
+    EXPECT_EQ(arena_stats.levels, free_stats.levels);
+    EXPECT_EQ(arena_stats.wcet_caps, free_stats.wcet_caps);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "trial " << trial << " task " << i;
+    }
+    EXPECT_EQ(got.utils(), expect.utils());
+  }
+  // Random K too (drawn before N, so the header order matters).
+  GenParams rk = params;
+  rk.random_levels = true;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const TaskSet expect = generate_trial(rk, 11, trial);
+    const TaskSet& got = arena.generate_trial(rk, 11, trial);
+    ASSERT_EQ(got.size(), expect.size());
+    ASSERT_EQ(got.num_levels(), expect.num_levels());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]);
+    }
+  }
+}
+
 TEST(GeneratorTest, RejectsBadParameters) {
   Rng rng(1);
   GenParams p0;

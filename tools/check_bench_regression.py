@@ -19,11 +19,23 @@ is an error -- so adding a new committed BENCH_ file without teaching CI to
 regenerate it fails loudly instead of silently going ungated.
 
 Only the dimensionless
-speedup ratios are compared -- the aggregate and the per-size entries --
+speedup ratios are compared -- the aggregates and the per-size entries
+(including the 2-D "speedup_2d" / "aggregate_speedup_2d" ratios when the
+bench emits them, labelled "tasks=N/2d" and "aggregate/2d") --
 because absolute ns/op numbers are machine-dependent while fast-vs-reference
 (or batched-vs-scalar) ratios on the same machine are not.  A fresh ratio may
-fall below its committed baseline by at most --tolerance (fractional; the
-default 0.25 absorbs --quick jitter on shared CI runners).  Speedups above
+fall below its committed baseline by a per-ratio fractional tolerance,
+resolved in precedence order:
+
+  1. baseline JSON "gate_tolerances" entry for the ratio's exact label
+     (e.g. "aggregate", "tasks=50/2d"),
+  2. baseline JSON "gate_tolerances" "default" entry,
+  3. the --tolerance flag (default 0.25, which absorbs --quick jitter on
+     shared CI runners).
+
+The bench that writes the baseline owns its tolerances: stable headline
+aggregates can carry a tight floor while microsecond-scale small-N sweeps
+stay loose, without CI ever touching a global knob.  Speedups above
 baseline never fail.
 
 Exit status: 0 when every ratio is within tolerance, 1 on regression, 2 on
@@ -50,11 +62,38 @@ def ratios(doc, path):
     out = {}
     try:
         out["aggregate"] = float(doc["aggregate_speedup"])
+        if "aggregate_speedup_2d" in doc:
+            out["aggregate/2d"] = float(doc["aggregate_speedup_2d"])
         for size in doc["sizes"]:
             out[f"tasks={size['tasks']}"] = float(size["speedup"])
+            if "speedup_2d" in size:
+                out[f"tasks={size['tasks']}/2d"] = float(size["speedup_2d"])
     except (KeyError, TypeError) as e:
         sys.exit(f"check_bench_regression: {path} is not a bench JSON ({e})")
     return out
+
+
+def tolerances(doc, path, default):
+    """Per-label tolerance lookup from the baseline's gate_tolerances.
+
+    Returns a function label -> fractional tolerance, falling back to the
+    document's "default" entry and then to the CLI default.
+    """
+    table = doc.get("gate_tolerances", {})
+    if not isinstance(table, dict):
+        sys.exit(f"check_bench_regression: {path} gate_tolerances must be "
+                 "an object of label -> fraction")
+    for label, value in table.items():
+        try:
+            frac = float(value)
+        except (TypeError, ValueError):
+            sys.exit(f"check_bench_regression: {path} gate_tolerances"
+                     f"['{label}'] is not a number")
+        if not 0.0 <= frac < 1.0:
+            sys.exit(f"check_bench_regression: {path} gate_tolerances"
+                     f"['{label}'] = {frac} must be in [0, 1)")
+    doc_default = float(table["default"]) if "default" in table else default
+    return lambda label: float(table.get(label, doc_default))
 
 
 def discover_pairs(baseline_dir, fresh_dir):
@@ -85,7 +124,8 @@ def main():
         "baselines")
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
-        help="allowed fractional drop below baseline (default 0.25)")
+        help="fallback fractional drop allowed below baseline when the "
+        "baseline JSON carries no gate_tolerances entry (default 0.25)")
     parser.add_argument(
         "--discover", metavar="FRESH_DIR",
         help="gate every BENCH_*.json in --baseline-dir against "
@@ -121,28 +161,31 @@ def main():
                      f"'{baseline_doc.get('bench')}'")
         base = ratios(baseline_doc, baseline_path)
         fresh = ratios(fresh_doc, fresh_path)
+        tol_of = tolerances(baseline_doc, baseline_path, args.tolerance)
         for label, base_speedup in sorted(base.items()):
             if label not in fresh:
                 sys.exit(f"check_bench_regression: {fresh_path} lacks "
                          f"'{label}' present in {baseline_path}")
-            floor = base_speedup * (1.0 - args.tolerance)
+            tol = tol_of(label)
+            floor = base_speedup * (1.0 - tol)
             ok = fresh[label] >= floor
             failed = failed or not ok
-            rows.append((bench, label, base_speedup, fresh[label], floor,
-                         "ok" if ok else "REGRESSED"))
+            rows.append((bench, label, base_speedup, fresh[label], tol,
+                         floor, "ok" if ok else "REGRESSED"))
 
     width = max(len(r[0]) for r in rows)
     lwidth = max(len(r[1]) for r in rows)
     print(f"{'bench':{width}}  {'ratio':{lwidth}}  {'baseline':>8}  "
-          f"{'fresh':>8}  {'floor':>8}  verdict")
-    for bench, label, base_speedup, fresh_speedup, floor, verdict in rows:
+          f"{'fresh':>8}  {'tol':>5}  {'floor':>8}  verdict")
+    for bench, label, base_speedup, fresh_speedup, tol, floor, verdict \
+            in rows:
         print(f"{bench:{width}}  {label:{lwidth}}  {base_speedup:8.3f}  "
-              f"{fresh_speedup:8.3f}  {floor:8.3f}  {verdict}")
+              f"{fresh_speedup:8.3f}  {tol:5.0%}  {floor:8.3f}  {verdict}")
     if failed:
-        print(f"\ncheck_bench_regression: speedup regressed beyond "
-              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        print("\ncheck_bench_regression: speedup regressed beyond its "
+              "per-ratio tolerance", file=sys.stderr)
         return 1
-    print(f"\nall speedups within {args.tolerance:.0%} of baseline")
+    print("\nall speedups within their per-ratio tolerances")
     return 0
 
 
